@@ -1,0 +1,14 @@
+//! The MatrixFlow worker executable: the accelerator as a child process.
+//!
+//! Speaks the newline-framed protocol documented in
+//! [`accesys_accel::serve_worker`] on stdin/stdout. The simulator spawns
+//! one of these per accelerator when the child-process model (Table I)
+//! is selected.
+
+use std::io::{stdin, stdout, BufReader, BufWriter};
+
+fn main() -> std::io::Result<()> {
+    let mut input = BufReader::new(stdin().lock());
+    let mut output = BufWriter::new(stdout().lock());
+    accesys_accel::serve_worker(&mut input, &mut output)
+}

@@ -1,0 +1,468 @@
+//! Child-process accelerator backend — Table I's "Acce Process Model:
+//! Child process (Multi-threaded)".
+//!
+//! The original framework compiles the Verilator-generated accelerator
+//! into a separate executable and runs it as a child process talking to
+//! the simulator over shared memory. This module reproduces that process
+//! architecture with a pipe protocol: the simulator ([`ChildWorker`])
+//! spawns the `matrixflow-worker` binary and exchanges newline-framed
+//! commands plus raw little-endian operand blocks with it. Timing queries
+//! (`TIME`) return the same cycle model as the in-process
+//! [`SystolicArray`], so the two backends are numerically identical; the
+//! functional GEMM (`GEMM`) runs multi-threaded inside the child.
+//!
+//! Protocol, one request/response pair at a time:
+//!
+//! ```text
+//! > PING
+//! < PONG
+//! > TIME <tiles> <k_chunk> <k_total> <rows> <cols> <freq_ghz> <override_ns|->
+//! < TIME <ticks>
+//! > GEMM <m> <n> <k>        (followed by (m*k + k*n) i32 LE values)
+//! < DONE                    (followed by m*n i32 LE values)
+//! > EXIT
+//! ```
+
+use crate::{GemmOperands, SystolicArray, SystolicConfig};
+use accesys_sim::Tick;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+/// Errors talking to a worker child process.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// Spawning or piping the child failed.
+    Io(std::io::Error),
+    /// The child answered with something the protocol does not allow.
+    Protocol(String),
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::Io(e) => write!(f, "worker i/o failed: {e}"),
+            WorkerError::Protocol(line) => write!(f, "worker protocol violation: {line:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkerError::Io(e) => Some(e),
+            WorkerError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WorkerError {
+    fn from(e: std::io::Error) -> Self {
+        WorkerError::Io(e)
+    }
+}
+
+/// Handle to a spawned `matrixflow-worker` child process.
+///
+/// Dropping the handle sends `EXIT` and reaps the child.
+#[derive(Debug)]
+pub struct ChildWorker {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+    /// Timing round-trips served by the child.
+    time_queries: u64,
+    /// Functional GEMMs served by the child.
+    gemms: u64,
+}
+
+impl ChildWorker {
+    /// Spawn the worker executable at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkerError::Io`] if the process cannot be spawned, and
+    /// [`WorkerError::Protocol`] if it fails the initial `PING`.
+    pub fn spawn(path: &std::path::Path) -> Result<Self, WorkerError> {
+        let mut child = Command::new(path)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut worker = ChildWorker {
+            child,
+            stdin,
+            stdout,
+            time_queries: 0,
+            gemms: 0,
+        };
+        worker.send_line("PING")?;
+        let pong = worker.read_line()?;
+        if pong != "PONG" {
+            return Err(WorkerError::Protocol(pong));
+        }
+        Ok(worker)
+    }
+
+    fn send_line(&mut self, line: &str) -> Result<(), WorkerError> {
+        self.stdin.write_all(line.as_bytes())?;
+        self.stdin.write_all(b"\n")?;
+        self.stdin.flush()?;
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> Result<String, WorkerError> {
+        let mut line = String::new();
+        let n = self.stdout.read_line(&mut line)?;
+        if n == 0 {
+            return Err(WorkerError::Protocol("worker closed its pipe".into()));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Ask the child for the block compute time — same semantics as
+    /// [`SystolicArray::block_time`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkerError`] on pipe failure or a malformed reply.
+    pub fn block_time(
+        &mut self,
+        cfg: SystolicConfig,
+        tiles: u32,
+        k_chunk: u32,
+        k_total: u32,
+    ) -> Result<Tick, WorkerError> {
+        let ov = cfg
+            .compute_override_ns
+            .map_or_else(|| "-".to_string(), |v| v.to_string());
+        self.send_line(&format!(
+            "TIME {tiles} {k_chunk} {k_total} {} {} {} {ov}",
+            cfg.rows, cfg.cols, cfg.freq_ghz
+        ))?;
+        self.time_queries += 1;
+        let reply = self.read_line()?;
+        let ticks = reply
+            .strip_prefix("TIME ")
+            .and_then(|t| t.parse::<Tick>().ok())
+            .ok_or(WorkerError::Protocol(reply))?;
+        Ok(ticks)
+    }
+
+    /// Run the functional GEMM in the child and store the result back
+    /// into `ops` (the shared-memory data path of the original, carried
+    /// over pipes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkerError`] on pipe failure or a malformed reply.
+    pub fn run_gemm(&mut self, ops: &GemmOperands) -> Result<(), WorkerError> {
+        let (m, n, k) = ops.dims();
+        self.send_line(&format!("GEMM {m} {n} {k}"))?;
+        write_i32s(&mut self.stdin, ops.a())?;
+        write_i32s(&mut self.stdin, ops.b())?;
+        self.stdin.flush()?;
+        self.gemms += 1;
+        let reply = self.read_line()?;
+        if reply != "DONE" {
+            return Err(WorkerError::Protocol(reply));
+        }
+        let c = read_i32s(&mut self.stdout, m * n)?;
+        ops.set_result(c);
+        Ok(())
+    }
+
+    /// Timing round-trips served so far.
+    pub fn time_queries(&self) -> u64 {
+        self.time_queries
+    }
+
+    /// Functional GEMMs served so far.
+    pub fn gemms(&self) -> u64 {
+        self.gemms
+    }
+}
+
+impl Drop for ChildWorker {
+    fn drop(&mut self) {
+        // Best-effort shutdown; never fail in a destructor.
+        let _ = self.send_line("EXIT");
+        let _ = self.child.wait();
+    }
+}
+
+/// The accelerator's compute backend: the in-process timing model or a
+/// spawned worker child (Table I's process model).
+#[derive(Debug)]
+pub enum ComputeBackend {
+    /// Timing model evaluated inline (fast path, default).
+    InProcess(SystolicArray),
+    /// Timing and functional results served by a child process.
+    Child(Box<ChildWorker>),
+}
+
+impl ComputeBackend {
+    /// Block compute time for `tiles` output tiles over one k-chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the child process dies mid-simulation — a worker crash
+    /// is not a recoverable simulation outcome.
+    pub fn block_time(
+        &mut self,
+        cfg: SystolicConfig,
+        tiles: u32,
+        k_chunk: u32,
+        k_total: u32,
+    ) -> Tick {
+        match self {
+            ComputeBackend::InProcess(array) => array.block_time(tiles, k_chunk, k_total),
+            ComputeBackend::Child(w) => w
+                .block_time(cfg, tiles, k_chunk, k_total)
+                .expect("worker child died mid-simulation"),
+        }
+    }
+
+    /// Execute the functional GEMM on this backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the child process dies mid-simulation.
+    pub fn execute(&mut self, ops: &GemmOperands) {
+        match self {
+            ComputeBackend::InProcess(_) => ops.execute(),
+            ComputeBackend::Child(w) => {
+                w.run_gemm(ops).expect("worker child died mid-simulation");
+            }
+        }
+    }
+}
+
+/// Write a slice of i32 values as little-endian bytes.
+fn write_i32s<W: Write>(w: &mut W, vals: &[i32]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&buf)
+}
+
+/// Read exactly `count` little-endian i32 values.
+fn read_i32s<R: Read>(r: &mut R, count: usize) -> std::io::Result<Vec<i32>> {
+    let mut buf = vec![0u8; count * 4];
+    r.read_exact(&mut buf)?;
+    Ok(buf
+        .chunks_exact(4)
+        .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Serve the worker protocol over `input`/`output` until `EXIT` or EOF.
+///
+/// This is the entire body of the `matrixflow-worker` binary, kept in the
+/// library so both sides of the protocol are unit-testable in one place.
+/// The functional GEMM is computed across multiple threads, reproducing
+/// the "multi-threaded child" of the original framework.
+///
+/// # Errors
+///
+/// Returns an error when the pipes fail; protocol violations from the
+/// parent terminate the loop with an error reply instead.
+pub fn serve_worker<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> std::io::Result<()> {
+    loop {
+        let mut line = String::new();
+        if input.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let line = line.trim_end();
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("PING") => {
+                writeln!(output, "PONG")?;
+                output.flush()?;
+            }
+            Some("EXIT") | None => return Ok(()),
+            Some("TIME") => {
+                let nums: Vec<&str> = parts.collect();
+                let reply = parse_time_command(&nums)
+                    .map(|t| format!("TIME {t}"))
+                    .unwrap_or_else(|| "ERR bad TIME".to_string());
+                writeln!(output, "{reply}")?;
+                output.flush()?;
+            }
+            Some("GEMM") => {
+                let dims: Vec<usize> = parts.filter_map(|p| p.parse().ok()).collect();
+                if dims.len() != 3 {
+                    writeln!(output, "ERR bad GEMM")?;
+                    output.flush()?;
+                    continue;
+                }
+                let (m, n, k) = (dims[0], dims[1], dims[2]);
+                let a = read_i32s(input, m * k)?;
+                let b = read_i32s(input, k * n)?;
+                let c = threaded_gemm(m, n, k, &a, &b);
+                writeln!(output, "DONE")?;
+                write_i32s(output, &c)?;
+                output.flush()?;
+            }
+            Some(other) => {
+                writeln!(output, "ERR unknown command {other}")?;
+                output.flush()?;
+            }
+        }
+    }
+}
+
+fn parse_time_command(nums: &[&str]) -> Option<Tick> {
+    if nums.len() != 7 {
+        return None;
+    }
+    let tiles: u32 = nums[0].parse().ok()?;
+    let k_chunk: u32 = nums[1].parse().ok()?;
+    let k_total: u32 = nums[2].parse().ok()?;
+    let rows: u32 = nums[3].parse().ok()?;
+    let cols: u32 = nums[4].parse().ok()?;
+    let freq_ghz: f64 = nums[5].parse().ok()?;
+    let compute_override_ns = if nums[6] == "-" {
+        None
+    } else {
+        Some(nums[6].parse().ok()?)
+    };
+    let array = SystolicArray::new(SystolicConfig {
+        rows,
+        cols,
+        freq_ghz,
+        compute_override_ns,
+    });
+    Some(array.block_time(tiles, k_chunk, k_total))
+}
+
+/// Row-partitioned multi-threaded i32 GEMM (the child's compute kernel).
+fn threaded_gemm(m: usize, n: usize, k: usize, a: &[i32], b: &[i32]) -> Vec<i32> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(4)
+        .min(m.max(1));
+    let rows_per = m.div_ceil(threads.max(1));
+    let mut c = vec![0i32; m * n];
+    std::thread::scope(|scope| {
+        for (t, chunk) in c.chunks_mut(rows_per * n).enumerate() {
+            let row0 = t * rows_per;
+            scope.spawn(move || {
+                for (local_i, crow) in chunk.chunks_mut(n).enumerate() {
+                    let i = row0 + local_i;
+                    for kk in 0..k {
+                        let av = a[i * k + kk];
+                        if av == 0 {
+                            continue;
+                        }
+                        let brow = &b[kk * n..(kk + 1) * n];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv = cv.wrapping_add(av.wrapping_mul(*bv));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// Drive the protocol fully in-memory (no process spawn needed).
+    fn roundtrip(script: &[u8]) -> Vec<u8> {
+        let mut input = Cursor::new(script.to_vec());
+        let mut output = Vec::new();
+        serve_worker(&mut input, &mut output).expect("serve failed");
+        output
+    }
+
+    #[test]
+    fn ping_pong_and_exit() {
+        let out = roundtrip(b"PING\nEXIT\n");
+        assert_eq!(out, b"PONG\n");
+    }
+
+    #[test]
+    fn eof_terminates_cleanly() {
+        let out = roundtrip(b"");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn time_matches_in_process_model() {
+        let out = roundtrip(b"TIME 64 256 1024 16 16 1 -\nEXIT\n");
+        let text = String::from_utf8(out).unwrap();
+        let array = SystolicArray::new(SystolicConfig::default());
+        let expect = array.block_time(64, 256, 1024);
+        assert_eq!(text.trim(), format!("TIME {expect}"));
+    }
+
+    #[test]
+    fn time_honors_override() {
+        let out = roundtrip(b"TIME 1 512 1024 16 16 1 1500\nEXIT\n");
+        let text = String::from_utf8(out).unwrap();
+        let array = SystolicArray::new(SystolicConfig {
+            compute_override_ns: Some(1500.0),
+            ..SystolicConfig::default()
+        });
+        assert_eq!(
+            text.trim(),
+            format!("TIME {}", array.block_time(1, 512, 1024))
+        );
+    }
+
+    #[test]
+    fn malformed_commands_get_err_replies() {
+        let out = roundtrip(b"TIME 1 2\nFROB\nEXIT\n");
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("ERR"));
+        assert!(lines[1].starts_with("ERR"));
+    }
+
+    #[test]
+    fn gemm_command_computes_the_product() {
+        let (m, n, k) = (3usize, 2usize, 4usize);
+        let a: Vec<i32> = (0..m * k).map(|x| x as i32 - 5).collect();
+        let b: Vec<i32> = (0..k * n).map(|x| (x * 7) as i32 % 9 - 4).collect();
+        let mut script = format!("GEMM {m} {n} {k}\n").into_bytes();
+        for v in a.iter().chain(&b) {
+            script.extend_from_slice(&v.to_le_bytes());
+        }
+        script.extend_from_slice(b"EXIT\n");
+        let out = roundtrip(&script);
+        assert!(out.starts_with(b"DONE\n"));
+        let c_bytes = &out[b"DONE\n".len()..];
+        let c: Vec<i32> = c_bytes
+            .chunks_exact(4)
+            .map(|x| i32::from_le_bytes([x[0], x[1], x[2], x[3]]))
+            .collect();
+        let golden = GemmOperands::new(m, n, k, a, b).golden();
+        assert_eq!(c, golden);
+    }
+
+    #[test]
+    fn threaded_gemm_matches_reference_at_odd_sizes() {
+        for (m, n, k) in [(1, 1, 1), (5, 3, 2), (17, 9, 33), (64, 64, 64)] {
+            let a: Vec<i32> = (0..m * k).map(|x| (x % 23) as i32 - 11).collect();
+            let b: Vec<i32> = (0..k * n).map(|x| (x % 17) as i32 - 8).collect();
+            let got = threaded_gemm(m, n, k, &a, &b);
+            let golden = GemmOperands::new(m, n, k, a, b).golden();
+            assert_eq!(got, golden, "({m},{n},{k})");
+        }
+    }
+
+    #[test]
+    fn backend_in_process_delegates_to_the_array() {
+        let cfg = SystolicConfig::default();
+        let mut backend = ComputeBackend::InProcess(SystolicArray::new(cfg));
+        let direct = SystolicArray::new(cfg).block_time(8, 128, 256);
+        assert_eq!(backend.block_time(cfg, 8, 128, 256), direct);
+    }
+}

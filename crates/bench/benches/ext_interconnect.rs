@@ -1,0 +1,47 @@
+//! Criterion bench for the extension experiments: CXL vs PCIe, cluster
+//! scaling, and DRAM energy-model overhead (scaled sizes).
+
+use accesys::{Simulation, SystemConfig};
+use accesys_mem::MemTech;
+use accesys_workload::GemmSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn gemm(cfg: SystemConfig, matrix: u32) -> f64 {
+    let mut sim = Simulation::new(cfg).expect("valid");
+    sim.run_gemm(GemmSpec::square(matrix))
+        .expect("runs")
+        .total_time_ns()
+}
+
+fn sharded(cfg: SystemConfig, matrix: u32) -> f64 {
+    let mut sim = Simulation::new(cfg).expect("valid");
+    sim.run_gemm_sharded(GemmSpec::square(matrix))
+        .expect("runs")
+        .total_time_ns()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_interconnect");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("cxl_x8"), |b| {
+        b.iter(|| gemm(SystemConfig::cxl_host(8, MemTech::Ddr4), 128))
+    });
+    g.bench_function(BenchmarkId::from_parameter("pcie_equal_bw"), |b| {
+        let bw = SystemConfig::cxl_host(8, MemTech::Ddr4)
+            .cxl_link
+            .payload_bandwidth_gbps();
+        b.iter(|| gemm(SystemConfig::pcie_host(bw, MemTech::Ddr4), 128))
+    });
+    g.bench_function(BenchmarkId::from_parameter("cluster_x4_sharded"), |b| {
+        b.iter(|| {
+            sharded(
+                SystemConfig::pcie_host(16.0, MemTech::Ddr4).with_accel_count(4),
+                128,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for the Fig. 2 roofline points (scaled sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_roofline");
+    g.sample_size(10);
+    for compute_ns in [100.0, 1500.0, 6000.0] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(compute_ns as u64),
+            &compute_ns,
+            |b, &compute_ns| b.iter(|| accesys_bench::fig2::measure(compute_ns, 128)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for Fig. 3 lane/bandwidth points (scaled sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_bandwidth");
+    g.sample_size(10);
+    for (lanes, gbps) in [(2u32, 2.0f64), (8, 8.0), (16, 64.0)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{lanes}x{gbps}")),
+            &(lanes, gbps),
+            |b, &(lanes, gbps)| b.iter(|| accesys_bench::fig3::measure(lanes, gbps, 128)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

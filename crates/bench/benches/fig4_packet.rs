@@ -1,0 +1,17 @@
+//! Criterion bench for Fig. 4 packet-size points (scaled sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_packet");
+    g.sample_size(10);
+    for pkt in [64u32, 256, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(pkt), &pkt, |b, &pkt| {
+            b.iter(|| accesys_bench::fig4::measure(16.0, pkt, 128))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

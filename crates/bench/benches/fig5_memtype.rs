@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 5 memory-location points (scaled sizes).
+
+use accesys::{Simulation, SystemConfig};
+use accesys_mem::MemTech;
+use accesys_workload::GemmSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn run(cfg: SystemConfig) -> f64 {
+    let mut sim = Simulation::new(cfg).expect("valid");
+    sim.run_gemm(GemmSpec::square(128)).expect("runs").total_time_ns()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_memtype");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("devmem_hbm2"), |b| {
+        b.iter(|| run(SystemConfig::devmem(MemTech::Hbm2)))
+    });
+    g.bench_function(BenchmarkId::from_parameter("host_ddr4_2gb"), |b| {
+        b.iter(|| run(SystemConfig::pcie_host(2.0, MemTech::Ddr4)))
+    });
+    g.bench_function(BenchmarkId::from_parameter("host_hbm2_64gb"), |b| {
+        b.iter(|| run(SystemConfig::pcie_host(64.0, MemTech::Hbm2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for Figs. 7/8: one ViT-Base layer per system.
+
+use accesys_bench::fig7::{measure, SystemKind};
+use accesys_workload::VitModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_vit");
+    g.sample_size(10);
+    for system in [SystemKind::Pcie8, SystemKind::DevMem] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(system.label()),
+            &system,
+            |b, &system| b.iter(|| measure(VitModel::Base, system)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

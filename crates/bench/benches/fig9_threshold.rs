@@ -1,0 +1,22 @@
+//! Criterion bench for the Fig. 9 analytic model fit.
+
+use accesys::analytic::{PhaseTimes, ThresholdModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = ThresholdModel {
+        pcie: PhaseTimes { gemm_ns: 59228.0, non_gemm_ns: 5915.0 },
+        devmem: PhaseTimes { gemm_ns: 6705.0, non_gemm_ns: 22119.0 },
+        t_other_ns: 100.0,
+    };
+    c.bench_function("fig9_threshold_sweep", |b| {
+        b.iter(|| {
+            let s = black_box(&model).sweep(101);
+            (s.len(), model.crossover_non_gemm_fraction())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for Table IV translation measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_translation");
+    g.sample_size(10);
+    for matrix in [64u32, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(matrix), &matrix, |b, &m| {
+            b.iter(|| accesys_bench::table4::measure(m))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

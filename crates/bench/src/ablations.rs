@@ -1,0 +1,158 @@
+//! Ablations of the framework's own design choices (beyond the paper's
+//! figures): how much each mechanism contributes.
+//!
+//! * PCIe endpoint tag pool — outstanding-read window vs throughput.
+//! * SMMU µTLB capacity — translation overhead vs reach.
+//! * SMMU walk cache on/off.
+//! * LLC coherence point on/off (probe overhead for DC-mode traffic).
+
+use accesys::{Simulation, SystemConfig};
+use accesys_mem::MemTech;
+use accesys_workload::GemmSpec;
+
+/// `(parameter, exec_ns)` series of one ablation.
+#[derive(Clone, Debug)]
+pub struct Ablation {
+    /// Which knob was swept.
+    pub name: &'static str,
+    /// `(knob value, exec_time_ns)` points.
+    pub points: Vec<(u64, f64)>,
+}
+
+fn exec(cfg: SystemConfig, matrix: u32) -> f64 {
+    let mut sim = Simulation::new(cfg).expect("valid config");
+    sim.run_gemm(GemmSpec::square(matrix))
+        .expect("gemm completes")
+        .total_time_ns()
+}
+
+/// Sweep the endpoint's non-posted tag pool.
+pub fn tags(matrix: u32) -> Ablation {
+    let points = [1u32, 2, 4, 8, 16, 32, 64, 128, 256]
+        .iter()
+        .map(|&t| {
+            let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
+            cfg.pcie.ep.tags = t;
+            (u64::from(t), exec(cfg, matrix))
+        })
+        .collect();
+    Ablation {
+        name: "ep.tags",
+        points,
+    }
+}
+
+/// Sweep the µTLB capacity.
+pub fn tlb_entries(matrix: u32) -> Ablation {
+    let points = [4u32, 8, 16, 32, 64, 128]
+        .iter()
+        .map(|&e| {
+            let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
+            if let Some(smmu) = cfg.smmu.as_mut() {
+                smmu.tlb_entries = e;
+            }
+            (u64::from(e), exec(cfg, matrix))
+        })
+        .collect();
+    Ablation {
+        name: "smmu.tlb_entries",
+        points,
+    }
+}
+
+/// Walk cache on vs off.
+pub fn walk_cache(matrix: u32) -> Ablation {
+    let points = [0u32, 16]
+        .iter()
+        .map(|&e| {
+            let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
+            if let Some(smmu) = cfg.smmu.as_mut() {
+                smmu.walk_cache_entries = e;
+                smmu.tlb_entries = 8; // force walks so the cache matters
+            }
+            (u64::from(e), exec(cfg, matrix))
+        })
+        .collect();
+    Ablation {
+        name: "smmu.walk_cache_entries",
+        points,
+    }
+}
+
+/// Coherence point on vs off (0 = off, 1 = on).
+pub fn coherence(matrix: u32) -> Ablation {
+    let points = [false, true]
+        .iter()
+        .map(|&on| {
+            let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
+            cfg.coherent = on;
+            (u64::from(on), exec(cfg, matrix))
+        })
+        .collect();
+    Ablation {
+        name: "llc.coherent",
+        points,
+    }
+}
+
+/// Run all ablations and print them.
+pub fn run_and_print(matrix: u32) -> Vec<Ablation> {
+    let all = vec![
+        tags(matrix),
+        tlb_entries(matrix),
+        walk_cache(matrix),
+        coherence(matrix),
+    ];
+    println!("# Ablations (GEMM {matrix}, 16 GB/s PCIe, DDR4 host)");
+    for a in &all {
+        println!("{}:", a.name);
+        for &(v, t) in &a.points {
+            println!("  {v:>6} -> {:>10.1} us", t / 1000.0);
+        }
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_tag_pools_throttle_reads() {
+        let a = tags(128);
+        let t1 = a.points[0].1; // 1 tag
+        let t128 = a.points[7].1; // 128 tags
+        assert!(
+            t1 > 3.0 * t128,
+            "stop-and-wait should be much slower: {t1} vs {t128}"
+        );
+        // Diminishing returns: 128 -> 256 changes little.
+        let t256 = a.points[8].1;
+        assert!((t128 / t256 - 1.0).abs() < 0.10);
+    }
+
+    #[test]
+    fn bigger_tlbs_do_not_hurt() {
+        let a = tlb_entries(128);
+        let first = a.points.first().unwrap().1;
+        let last = a.points.last().unwrap().1;
+        assert!(last <= first * 1.02, "TLB growth regressed: {first} -> {last}");
+    }
+
+    #[test]
+    fn walk_cache_helps_when_tlb_thrashes() {
+        let a = walk_cache(128);
+        let off = a.points[0].1;
+        let on = a.points[1].1;
+        assert!(on <= off, "walk cache should not hurt: {off} -> {on}");
+    }
+
+    #[test]
+    fn coherence_costs_little_without_sharing() {
+        let a = coherence(128);
+        let off = a.points[0].1;
+        let on = a.points[1].1;
+        // GEMM data is not CPU-shared, so the probe overhead is tiny.
+        assert!(on <= off * 1.05, "coherence overhead too high: {off} -> {on}");
+    }
+}

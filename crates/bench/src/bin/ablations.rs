@@ -1,0 +1,10 @@
+//! Run the framework's design-choice ablations.
+
+fn main() {
+    let matrix = if accesys_bench::Scale::from_env() == accesys_bench::Scale::Paper {
+        1024
+    } else {
+        256
+    };
+    accesys_bench::ablations::run_and_print(matrix);
+}

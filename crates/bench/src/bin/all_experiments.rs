@@ -1,0 +1,34 @@
+//! Regenerate every table and figure in one go.
+//! `ACCESYS_FULL=1` runs the paper's exact sizes.
+
+use accesys_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== scale: {scale:?} (set ACCESYS_FULL=1 for paper sizes) ==\n");
+    accesys_bench::table2::run_and_print();
+    println!();
+    accesys_bench::table3::run_and_print();
+    println!();
+    accesys_bench::fig2::run_and_print(scale);
+    println!();
+    accesys_bench::fig3::run_and_print(scale);
+    println!();
+    accesys_bench::fig4::run_and_print(scale);
+    println!();
+    accesys_bench::fig5::run_and_print(scale);
+    println!();
+    accesys_bench::fig6::run_and_print(scale);
+    println!();
+    accesys_bench::table4::run_and_print(scale);
+    println!();
+    accesys_bench::fig7::run_and_print(scale);
+    println!();
+    accesys_bench::fig9::run_and_print(scale);
+    println!("\n== extensions ==\n");
+    accesys_bench::cxl::run_and_print(scale);
+    println!();
+    accesys_bench::cluster::run_and_print(scale);
+    println!();
+    accesys_bench::energy::run_and_print(scale);
+}

@@ -1,0 +1,6 @@
+//! Extension experiment: accelerator-cluster scaling behind the switch.
+//! `ACCESYS_FULL=1` for paper-scale matrix sizes.
+
+fn main() {
+    accesys_bench::cluster::run_and_print(accesys_bench::Scale::from_env());
+}

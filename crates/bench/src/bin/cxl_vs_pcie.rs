@@ -1,0 +1,6 @@
+//! Extension experiment: PCIe hierarchy vs CXL.mem flit link.
+//! `ACCESYS_FULL=1` for paper-scale matrix sizes.
+
+fn main() {
+    accesys_bench::cxl::run_and_print(accesys_bench::Scale::from_env());
+}

@@ -1,0 +1,6 @@
+//! Extension experiment: DRAM energy breakdown and controller-policy
+//! ablation. `ACCESYS_FULL=1` for paper-scale matrix sizes.
+
+fn main() {
+    accesys_bench::energy::run_and_print(accesys_bench::Scale::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig7 data. `ACCESYS_FULL=1` for paper sizes.
+
+fn main() {
+    accesys_bench::fig7::run_and_print(accesys_bench::Scale::from_env());
+}

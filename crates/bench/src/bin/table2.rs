@@ -1,0 +1,5 @@
+//! Print the Table II baseline configuration.
+
+fn main() {
+    accesys_bench::table2::run_and_print();
+}

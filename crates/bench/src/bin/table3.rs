@@ -1,0 +1,5 @@
+//! Print the Table III memory configurations.
+
+fn main() {
+    accesys_bench::table3::run_and_print();
+}

@@ -1,0 +1,99 @@
+//! Extension experiment — PCIe hierarchy vs a CXL.mem flit link.
+//!
+//! The paper's title promises exploration of *standard interconnects*;
+//! its evaluation covers PCIe. This experiment extends the same
+//! framework to the next standard interconnect: the accelerator attached
+//! point-to-point over a CXL.mem-style flit link (no switch hop, 25 ns
+//! host bridge, 68 B flits) versus PCIe hierarchies of equal and higher
+//! bandwidth. Expected shape: CXL wins clearly on small (latency-bound)
+//! jobs and converges toward the equal-bandwidth PCIe curve as jobs grow
+//! bandwidth-bound.
+
+use crate::Scale;
+use accesys::{Simulation, SystemConfig};
+use accesys_mem::MemTech;
+use accesys_workload::GemmSpec;
+
+/// One matrix-size row of the comparison.
+#[derive(Clone, Debug)]
+pub struct CxlRow {
+    /// Square matrix dimension.
+    pub matrix: u32,
+    /// CXL ×8 execution time, ns.
+    pub cxl_ns: f64,
+    /// PCIe at the same effective bandwidth, ns.
+    pub pcie_equal_ns: f64,
+    /// The paper's 2 GB/s PCIe baseline, ns.
+    pub pcie_2gb_ns: f64,
+}
+
+/// Matrix sizes at each scale.
+pub fn matrix_sizes(scale: Scale) -> Vec<u32> {
+    match scale {
+        Scale::Quick => vec![32, 64, 128, 256],
+        Scale::Paper => vec![64, 128, 256, 512, 1024, 2048],
+    }
+}
+
+fn time_of(cfg: SystemConfig, matrix: u32) -> f64 {
+    let mut sim = Simulation::new(cfg).expect("valid config");
+    sim.run_gemm(GemmSpec::square(matrix))
+        .expect("gemm completes")
+        .total_time_ns()
+}
+
+/// Run the comparison at `scale`.
+pub fn run(scale: Scale) -> Vec<CxlRow> {
+    let cxl_bw = SystemConfig::cxl_host(8, MemTech::Ddr4)
+        .cxl_link
+        .payload_bandwidth_gbps();
+    matrix_sizes(scale)
+        .into_iter()
+        .map(|matrix| CxlRow {
+            matrix,
+            cxl_ns: time_of(SystemConfig::cxl_host(8, MemTech::Ddr4), matrix),
+            pcie_equal_ns: time_of(SystemConfig::pcie_host(cxl_bw, MemTech::Ddr4), matrix),
+            pcie_2gb_ns: time_of(SystemConfig::pcie_host(2.0, MemTech::Ddr4), matrix),
+        })
+        .collect()
+}
+
+/// Run and print the comparison table.
+pub fn run_and_print(scale: Scale) -> Vec<CxlRow> {
+    let rows = run(scale);
+    println!("# CXL vs PCIe (extension): GEMM execution time, DDR4 host memory");
+    println!(
+        "{:>8} {:>12} {:>14} {:>12} {:>10}",
+        "matrix", "CXLx8 (µs)", "PCIe=bw (µs)", "PCIe2GB (µs)", "cxl gain"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>12.1} {:>14.1} {:>12.1} {:>9.2}x",
+            r.matrix,
+            r.cxl_ns / 1000.0,
+            r.pcie_equal_ns / 1000.0,
+            r.pcie_2gb_ns / 1000.0,
+            r.pcie_equal_ns / r.cxl_ns
+        );
+    }
+    println!("# expected shape: CXL ≥ PCIe at equal bandwidth, gap widest on small jobs");
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cxl_gain_shrinks_as_jobs_grow_bandwidth_bound() {
+        let rows = run(Scale::Quick);
+        let gain = |r: &CxlRow| r.pcie_equal_ns / r.cxl_ns;
+        let first = gain(&rows[0]);
+        let last = gain(rows.last().unwrap());
+        assert!(first > 1.0, "CXL should win small jobs: {first:.2}");
+        assert!(
+            last < first,
+            "latency advantage should dilute: {first:.2} -> {last:.2}"
+        );
+    }
+}

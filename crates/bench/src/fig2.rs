@@ -1,0 +1,82 @@
+//! Fig. 2 — roofline of the accelerator system: normalized execution
+//! time vs systolic-array compute time at a fixed 8 GB/s PCIe link.
+//! The paper reports a compute-bound plateau below ≈1500 ns per tile and
+//! a memory-bound linear region above it.
+
+use crate::Scale;
+use accesys::analytic::{roofline_knee, RooflinePoint};
+use accesys::{Simulation, SystemConfig};
+use accesys_mem::MemTech;
+use accesys_workload::GemmSpec;
+
+/// Compute times swept, in ns per output tile (full-k reduction).
+pub const COMPUTE_NS: [f64; 10] = [
+    100.0, 250.0, 500.0, 750.0, 1000.0, 1500.0, 2000.0, 3000.0, 4500.0, 6000.0,
+];
+
+/// Matrix size at each scale (paper: 1024).
+pub fn matrix_size(scale: Scale) -> u32 {
+    scale.pick(256, 1024)
+}
+
+/// Measure one roofline point.
+pub fn measure(compute_ns: f64, matrix: u32) -> RooflinePoint {
+    let cfg = SystemConfig::pcie_host(8.0, MemTech::Ddr4).with_compute_override_ns(compute_ns);
+    let mut sim = Simulation::new(cfg).expect("valid config");
+    let exec_ns = sim
+        .run_gemm(GemmSpec::square(matrix))
+        .expect("gemm completes")
+        .total_time_ns();
+    RooflinePoint { compute_ns, exec_ns }
+}
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Vec<RooflinePoint> {
+    let matrix = matrix_size(scale);
+    COMPUTE_NS.iter().map(|&c| measure(c, matrix)).collect()
+}
+
+/// Run and print the figure's series.
+pub fn run_and_print(scale: Scale) -> Vec<RooflinePoint> {
+    let points = run(scale);
+    let min = points
+        .iter()
+        .map(|p| p.exec_ns)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "# Fig 2: roofline, matrix {}, PCIe 8 GB/s",
+        matrix_size(scale)
+    );
+    println!("{:>14} {:>14} {:>12}", "compute(ns)", "exec(us)", "normalized");
+    for p in &points {
+        println!(
+            "{:>14.0} {:>14.1} {:>12.3}",
+            p.compute_ns,
+            p.exec_ns / 1000.0,
+            p.exec_ns / min
+        );
+    }
+    if let Some(knee) = roofline_knee(&points, 0.05) {
+        println!("# memory-bound/compute-bound knee at ~{knee:.0} ns (paper: ~1500 ns)");
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_has_plateau_then_linear_region() {
+        // Matrix 256 at 8 GB/s: each k-chunk moves 256 KiB (32 us), so
+        // per-chunk compute of 64 tiles stays memory-bound up to
+        // ~500 ns/tile — both points sit on the plateau.
+        let fast = measure(100.0, 256);
+        let mid = measure(250.0, 256);
+        let slow = measure(6000.0, 256);
+        let plateau_ratio = mid.exec_ns / fast.exec_ns;
+        assert!(plateau_ratio < 1.15, "plateau ratio {plateau_ratio}");
+        // Far right: compute dominates and scales roughly linearly.
+        assert!(slow.exec_ns > 2.0 * fast.exec_ns);
+    }
+}

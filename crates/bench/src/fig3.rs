@@ -1,0 +1,121 @@
+//! Fig. 3 — execution time under varying per-lane bandwidth and lane
+//! count. The paper reports consistent gains with bandwidth until the
+//! system turns compute-bound at 16 lanes, with the best configuration
+//! up to ~11× faster than the worst.
+
+use crate::Scale;
+use accesys::{Simulation, SystemConfig};
+use accesys_mem::MemTech;
+use accesys_workload::GemmSpec;
+
+/// Lane counts swept (paper: 2, 4, 8, 16).
+pub const LANES: [u32; 4] = [2, 4, 8, 16];
+
+/// Per-lane rates in Gb/s (paper: 2 – 64).
+pub const LANE_GBPS: [f64; 6] = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// One curve: execution time per lane rate at a fixed lane count.
+#[derive(Clone, Debug)]
+pub struct LaneCurve {
+    /// Number of lanes.
+    pub lanes: u32,
+    /// `(lane_gbps, exec_time_ns)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Matrix size at each scale (paper: 2048).
+pub fn matrix_size(scale: Scale) -> u32 {
+    scale.pick(256, 2048)
+}
+
+/// Measure one point.
+pub fn measure(lanes: u32, lane_gbps: f64, matrix: u32) -> f64 {
+    let mut cfg = SystemConfig::pcie_host(2.0, MemTech::Ddr4);
+    cfg.pcie.link.lanes = lanes;
+    cfg.pcie.link.lane_gbps = lane_gbps;
+    cfg.pcie.link.encoding_efficiency = 0.8; // gen-2-style framing
+    let mut sim = Simulation::new(cfg).expect("valid config");
+    sim.run_gemm(GemmSpec::square(matrix))
+        .expect("gemm completes")
+        .total_time_ns()
+}
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Vec<LaneCurve> {
+    let matrix = matrix_size(scale);
+    LANES
+        .iter()
+        .map(|&lanes| LaneCurve {
+            lanes,
+            points: LANE_GBPS
+                .iter()
+                .map(|&g| (g, measure(lanes, g, matrix)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Best-to-worst execution-time ratio across the whole grid.
+pub fn spread(curves: &[LaneCurve]) -> f64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for c in curves {
+        for &(_, t) in &c.points {
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+    }
+    hi / lo
+}
+
+/// Run and print the figure's series.
+pub fn run_and_print(scale: Scale) -> Vec<LaneCurve> {
+    let curves = run(scale);
+    println!(
+        "# Fig 3: execution time (us) vs per-lane rate, matrix {}",
+        matrix_size(scale)
+    );
+    print!("{:>12}", "lane Gb/s");
+    for c in &curves {
+        print!("{:>12}", format!("{} lanes", c.lanes));
+    }
+    println!();
+    for (i, &g) in LANE_GBPS.iter().enumerate() {
+        print!("{g:>12}");
+        for c in &curves {
+            print!("{:>12.1}", c.points[i].1 / 1000.0);
+        }
+        println!();
+    }
+    println!(
+        "# best/worst spread: {:.1}x (paper: up to ~11x / 1109.9%)",
+        spread(&curves)
+    );
+    curves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_bandwidth_is_monotonically_not_worse() {
+        let matrix = 128;
+        let t_2x2 = measure(2, 2.0, matrix);
+        let t_4x8 = measure(4, 8.0, matrix);
+        let t_16x32 = measure(16, 32.0, matrix);
+        assert!(t_2x2 > t_4x8, "{t_2x2} vs {t_4x8}");
+        assert!(t_4x8 > t_16x32, "{t_4x8} vs {t_16x32}");
+    }
+
+    #[test]
+    fn saturation_sets_in_at_high_bandwidth() {
+        // Compute/memory bound: doubling an already-huge link changes
+        // little.
+        let matrix = 128;
+        let t_16x32 = measure(16, 32.0, matrix);
+        let t_16x64 = measure(16, 64.0, matrix);
+        let gain = t_16x32 / t_16x64;
+        assert!(gain < 1.3, "still scaling at the top: {gain}");
+    }
+}

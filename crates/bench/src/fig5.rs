@@ -1,0 +1,103 @@
+//! Fig. 5 — device-side vs host-side memory across memory technologies.
+//! The paper normalizes speedup to DDR4 device-side and reports
+//! device-side winning across the board, with a 64 GB/s PCIe host
+//! configuration reaching ≈78 % of device-side performance.
+
+use crate::Scale;
+use accesys::{Simulation, SystemConfig};
+use accesys_mem::MemTech;
+use accesys_workload::GemmSpec;
+
+/// Memory technologies compared (as in the paper's Fig. 5).
+pub const TECHS: [MemTech; 4] = [
+    MemTech::Ddr4,
+    MemTech::Hbm2,
+    MemTech::Gddr5,
+    MemTech::Lpddr5,
+];
+
+/// One measurement triple for a memory technology.
+#[derive(Clone, Debug)]
+pub struct MemRow {
+    /// Memory technology.
+    pub tech: MemTech,
+    /// Execution time with device-side memory, ns.
+    pub device_ns: f64,
+    /// Execution time with host memory over a 2 GB/s PCIe link, ns.
+    pub host_2gb_ns: f64,
+    /// Execution time with host memory over a 64 GB/s PCIe link, ns.
+    pub host_64gb_ns: f64,
+}
+
+/// Matrix size at each scale.
+pub fn matrix_size(scale: Scale) -> u32 {
+    scale.pick(256, 1024)
+}
+
+fn run_one(cfg: SystemConfig, matrix: u32) -> f64 {
+    let mut sim = Simulation::new(cfg).expect("valid config");
+    sim.run_gemm(GemmSpec::square(matrix))
+        .expect("gemm completes")
+        .total_time_ns()
+}
+
+/// Run the comparison.
+pub fn run(scale: Scale) -> Vec<MemRow> {
+    let matrix = matrix_size(scale);
+    TECHS
+        .iter()
+        .map(|&tech| MemRow {
+            tech,
+            device_ns: run_one(SystemConfig::devmem(tech), matrix),
+            host_2gb_ns: run_one(SystemConfig::pcie_host(2.0, tech), matrix),
+            host_64gb_ns: run_one(SystemConfig::pcie_host(64.0, tech), matrix),
+        })
+        .collect()
+}
+
+/// Run and print normalized speedups (reference: DDR4 device-side).
+pub fn run_and_print(scale: Scale) -> Vec<MemRow> {
+    let rows = run(scale);
+    let reference = rows
+        .iter()
+        .find(|r| r.tech == MemTech::Ddr4)
+        .expect("DDR4 measured")
+        .device_ns;
+    println!(
+        "# Fig 5: normalized speedup wrt DDR4 device-side, matrix {}",
+        matrix_size(scale)
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>16}",
+        "memory", "device", "host@2GB/s", "host@64GB/s", "host64/device"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>12.3} {:>12.3} {:>12.3} {:>15.1}%",
+            r.tech.to_string(),
+            reference / r.device_ns,
+            reference / r.host_2gb_ns,
+            reference / r.host_64gb_ns,
+            100.0 * r.device_ns / r.host_64gb_ns
+        );
+    }
+    println!("# paper: host@64GB/s reaches ~78% of device-side");
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_side_beats_host_side_for_gemm() {
+        let matrix = 128;
+        let dev = run_one(SystemConfig::devmem(MemTech::Hbm2), matrix);
+        let host2 = run_one(SystemConfig::pcie_host(2.0, MemTech::Hbm2), matrix);
+        let host64 = run_one(SystemConfig::pcie_host(64.0, MemTech::Hbm2), matrix);
+        assert!(dev < host2, "device {dev} vs host@2 {host2}");
+        assert!(dev <= host64 * 1.05, "device {dev} vs host@64 {host64}");
+        // And faster PCIe closes most of the gap.
+        assert!(host64 < host2 / 2.0);
+    }
+}

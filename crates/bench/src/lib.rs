@@ -1,0 +1,30 @@
+//! # accesys-bench
+//!
+//! The experiment harness of the Gem5-AcceSys reproduction: one module
+//! per table/figure of the paper's evaluation (Section V). Each module
+//! exposes a `run(scale)` function returning typed data plus a
+//! `run_and_print(scale)` that emits the same rows/series the paper
+//! reports. Binaries under `src/bin` wrap them; Criterion benches under
+//! `benches/` time scaled-down versions.
+//!
+//! Workload sizes are scaled by default so the whole suite regenerates in
+//! minutes; set `ACCESYS_FULL=1` (or pass [`Scale::Paper`]) to run the
+//! paper's exact sizes.
+
+pub mod ablations;
+pub mod cluster;
+pub mod cxl;
+pub mod energy;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig9;
+pub mod scale;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+pub use scale::Scale;

@@ -1,0 +1,81 @@
+//! Table II — the baseline system configuration.
+
+use accesys::{MemBackendConfig, SystemConfig};
+
+/// Render the baseline configuration as Table II rows.
+pub fn rows() -> Vec<(String, String)> {
+    let cfg = SystemConfig::paper_baseline();
+    let mem = match cfg.host_mem {
+        MemBackendConfig::Dram(t) => format!(
+            "{t} {} MT/s, {} GB/s",
+            t.data_rate_mts(),
+            t.bandwidth_gbps()
+        ),
+        MemBackendConfig::Simple(s) => {
+            format!("simple {} GB/s / {} ns", s.bandwidth_gbps, s.latency_ns)
+        }
+    };
+    vec![
+        ("CPU".into(), format!("ARM-class, {} GHz", cfg.cpu.freq_ghz)),
+        (
+            "Data Cache".into(),
+            format!("{} kB", cfg.l1d.size_bytes >> 10),
+        ),
+        (
+            "Last Level Cache".into(),
+            format!("{} MB", cfg.llc.size_bytes >> 20),
+        ),
+        (
+            "IOCache".into(),
+            format!("{} kB", cfg.iocache.size_bytes >> 10),
+        ),
+        ("Memory".into(), mem),
+        (
+            "PCIe Link".into(),
+            format!(
+                "{} lanes x {} Gb/s ({:.1} GB/s effective)",
+                cfg.pcie.link.lanes,
+                cfg.pcie.link.lane_gbps,
+                cfg.pcie.bandwidth_gbps()
+            ),
+        ),
+        (
+            "PCIe RootComplex".into(),
+            format!("{} ns latency", cfg.pcie.rc.latency_ns),
+        ),
+        (
+            "PCIe Switch".into(),
+            format!("{} ns latency", cfg.pcie.switch.latency_ns),
+        ),
+    ]
+}
+
+/// Print Table II.
+pub fn run_and_print() {
+    println!("# Table II: system configuration");
+    for (k, v) in rows() {
+        println!("{k:<22} {v}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_match_the_paper() {
+        let rows = rows();
+        let get = |k: &str| {
+            rows.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert!(get("CPU").contains("1 GHz"));
+        assert!(get("Data Cache").contains("64 kB"));
+        assert!(get("Last Level Cache").contains("2 MB"));
+        assert!(get("IOCache").contains("32 kB"));
+        assert!(get("PCIe RootComplex").contains("150 ns"));
+        assert!(get("PCIe Switch").contains("50 ns"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Table III — memory technology configurations.
+
+use accesys_mem::MemTech;
+
+/// The technologies listed by the paper's Table III.
+pub const TECHS: [MemTech; 5] = [
+    MemTech::Ddr3,
+    MemTech::Ddr4,
+    MemTech::Ddr5,
+    MemTech::Hbm2,
+    MemTech::Gddr6,
+];
+
+/// Print Table III from the presets.
+pub fn run_and_print() {
+    println!("# Table III: memory configuration");
+    println!(
+        "{:>8} {:>9} {:>12} {:>12} {:>11}",
+        "tech", "channels", "width(bit)", "BW(GB/s)", "rate(MT/s)"
+    );
+    for t in TECHS {
+        println!(
+            "{:>8} {:>9} {:>12} {:>12.1} {:>11}",
+            t.to_string(),
+            t.channels(),
+            t.data_width_bits(),
+            t.bandwidth_gbps(),
+            t.data_rate_mts()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_iii_exactly() {
+        let expect = [
+            (MemTech::Ddr3, 1, 64, 12.8, 1600),
+            (MemTech::Ddr4, 1, 64, 19.2, 2400),
+            (MemTech::Ddr5, 2, 32, 25.6, 3200),
+            (MemTech::Hbm2, 2, 128, 64.0, 2000),
+            (MemTech::Gddr6, 2, 64, 32.0, 2000),
+        ];
+        for (t, ch, width, bw, rate) in expect {
+            assert_eq!(t.channels(), ch, "{t} channels");
+            assert_eq!(t.data_width_bits(), width, "{t} width");
+            assert!((t.bandwidth_gbps() - bw).abs() < 1e-9, "{t} bandwidth");
+            assert_eq!(t.data_rate_mts(), rate, "{t} rate");
+        }
+    }
+}

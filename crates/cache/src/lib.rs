@@ -1,0 +1,21 @@
+//! # accesys-cache
+//!
+//! Cache hierarchy for the Gem5-AcceSys reproduction: set-associative,
+//! write-back, write-allocate caches with MSHRs, used for the CPU L1s, the
+//! shared last-level cache (LLC), the IOCache and the device-side cache of
+//! the paper's Table II.
+//!
+//! The LLC can act as the system's *coherence point* (the paper's
+//! "cache coherency model between the accelerator's cache and the CPU
+//! cache"): a presence directory tracks which side — CPU or I/O — may hold
+//! a line, and cross-side accesses trigger `SnoopInv` probes that write
+//! back and invalidate the stale copy before the access proceeds.
+//!
+//! Requests of any size are accepted; multi-line requests are split into
+//! per-line transactions and the response fires when the last line
+//! completes, which is how DC-mode accelerator bursts (64 B – 4 KiB)
+//! traverse the hierarchy.
+
+mod cache;
+
+pub use cache::{Cache, CacheConfig, CoherenceSide, CoherentConfig};

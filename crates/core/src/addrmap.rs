@@ -1,0 +1,117 @@
+//! The fixed physical/virtual address map of the simulated system.
+
+use accesys_interconnect::AddrRange;
+
+/// Host DRAM: 4 GiB at physical 0 (Table II).
+pub const HOST_DRAM: AddrRange = AddrRange {
+    base: 0,
+    size: 4 << 30,
+};
+
+/// Physical base of the accelerator data window inside host DRAM (the
+/// SMMU's linear mapping target).
+pub const DATA_PA_BASE: u64 = 0x1000_0000;
+
+/// Physical base of the activation window used by CPU-side Non-GEMM
+/// operators when data lives in host memory.
+pub const HOST_ACT_BASE: u64 = 0xA000_0000;
+
+/// Page tables live here in host DRAM.
+pub const PT_BASE: u64 = 0xE000_0000;
+
+/// MSI window: device writes here are interrupts delivered to the CPU.
+pub const MSI: AddrRange = AddrRange {
+    base: 0xFEE0_0000,
+    size: 0x1000,
+};
+
+/// The accelerator's PCIe BAR (MMIO registers, doorbell at offset 0).
+pub const DEVICE_BAR: AddrRange = AddrRange {
+    base: 0x10_0000_0000,
+    size: 0x1000_0000,
+};
+
+/// Doorbell register address.
+pub const DOORBELL: u64 = DEVICE_BAR.base;
+
+/// Maximum accelerators behind the switch (BAR window carving).
+pub const MAX_ACCELS: usize = 16;
+
+/// Per-device BAR stride inside [`DEVICE_BAR`].
+pub const BAR_STRIDE: u64 = DEVICE_BAR.size / MAX_ACCELS as u64;
+
+/// The BAR window of accelerator `i` (an accelerator-cluster member).
+///
+/// # Panics
+///
+/// Panics if `i >= MAX_ACCELS`.
+pub fn device_bar(i: usize) -> AddrRange {
+    assert!(i < MAX_ACCELS, "accelerator index {i} out of range");
+    AddrRange {
+        base: DEVICE_BAR.base + i as u64 * BAR_STRIDE,
+        size: BAR_STRIDE,
+    }
+}
+
+/// Doorbell register address of accelerator `i`.
+pub fn doorbell(i: usize) -> u64 {
+    device_bar(i).base
+}
+
+/// Device-side memory window (4 GiB), reachable from the host over PCIe
+/// (the NUMA path) and from the accelerator directly.
+pub const DEVMEM: AddrRange = AddrRange {
+    base: 0x20_0000_0000,
+    size: 4 << 30,
+};
+
+/// Activation window inside device memory for DevMem configurations.
+pub const DEVMEM_ACT_BASE: u64 = DEVMEM.base + 0xA000_0000;
+
+/// Base of the accelerator's virtual address space (SMMU-translated).
+pub const ACCEL_VA_BASE: u64 = 0x40_0000_0000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_do_not_overlap() {
+        assert!(!DEVICE_BAR.overlaps(&DEVMEM));
+        assert!(!DEVICE_BAR.overlaps(&HOST_DRAM));
+        assert!(!DEVMEM.overlaps(&HOST_DRAM));
+        // MSI and the page tables live inside host DRAM by design.
+        assert!(HOST_DRAM.contains(MSI.base));
+        assert!(HOST_DRAM.contains(PT_BASE));
+        assert!(HOST_DRAM.contains(DATA_PA_BASE));
+        assert!(HOST_DRAM.contains(HOST_ACT_BASE));
+        // Data window must end before the activation window.
+        assert!(DATA_PA_BASE < HOST_ACT_BASE);
+        assert!(HOST_ACT_BASE < PT_BASE);
+        assert!(PT_BASE < MSI.base);
+    }
+
+    #[test]
+    fn devmem_activations_inside_devmem() {
+        assert!(DEVMEM.contains(DEVMEM_ACT_BASE));
+    }
+
+    #[test]
+    fn per_device_bars_tile_the_device_window() {
+        assert_eq!(doorbell(0), DOORBELL);
+        for i in 0..MAX_ACCELS {
+            let bar = device_bar(i);
+            assert!(DEVICE_BAR.contains(bar.base));
+            assert!(DEVICE_BAR.contains(bar.base + bar.size - 1));
+            for j in 0..i {
+                assert!(!bar.overlaps(&device_bar(j)), "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn device_bar_bounds_checked() {
+        device_bar(MAX_ACCELS);
+    }
+}

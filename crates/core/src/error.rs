@@ -1,0 +1,139 @@
+//! Framework error types.
+
+use accesys_sim::SimError;
+
+/// Error building a system from a [`crate::SystemConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The configuration is inconsistent; the message names the field.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Error running a workload on a built system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The event kernel aborted (livelock / event budget).
+    Sim(SimError),
+    /// The run drained its event queue without reaching completion —
+    /// a dropped interrupt or a wiring hole.
+    NoCompletion(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "simulation aborted: {e}"),
+            RunError::NoCompletion(what) => {
+                write!(f, "run finished without completing: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Sim(e) => Some(e),
+            RunError::NoCompletion(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// Unified framework error: anything that can go wrong building or
+/// running a simulation.
+///
+/// Both [`BuildError`] and [`RunError`] convert into `Error`, so a caller
+/// that chains `Simulation::new(..)?.run_gemm(..)?` can use a single
+/// error type:
+///
+/// ```
+/// use accesys::{Error, Simulation, SystemConfig};
+/// use accesys_workload::GemmSpec;
+///
+/// fn run() -> Result<f64, Error> {
+///     let report = Simulation::new(SystemConfig::paper_baseline())?
+///         .run_gemm(GemmSpec::square(32))?;
+///     Ok(report.total_time_ns())
+/// }
+/// # run().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Failed to assemble the system from its configuration.
+    Build(BuildError),
+    /// The assembled system failed while executing a workload.
+    Run(RunError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Build(e) => e.fmt(f),
+            Error::Run(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Build(e) => Some(e),
+            Error::Run(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildError> for Error {
+    fn from(e: BuildError) -> Self {
+        Error::Build(e)
+    }
+}
+
+impl From<RunError> for Error {
+    fn from(e: RunError) -> Self {
+        Error::Run(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unified_error_converts_from_both_stages() {
+        let b: Error = BuildError::InvalidConfig("lanes".into()).into();
+        assert!(b.to_string().contains("lanes"));
+        let r: Error = RunError::NoCompletion("doorbell".into()).into();
+        assert!(r.to_string().contains("doorbell"));
+        assert_ne!(b, r);
+        // source() exposes the inner error for downcasting.
+        use std::error::Error as _;
+        assert!(b.source().is_some());
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let b = BuildError::InvalidConfig("dma.request_bytes > MPS".into());
+        assert!(b.to_string().contains("request_bytes"));
+        let r = RunError::NoCompletion("cpu program".into());
+        assert!(r.to_string().contains("cpu program"));
+        let s = RunError::from(SimError::EventLimitExceeded { limit: 5, at: 9 });
+        assert!(s.to_string().contains("limit"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Run reports: what a simulation produced.
+
+use accesys_accel::JobRecord;
+use accesys_sim::{units, Stats, Tick};
+use accesys_smmu::SmmuStats;
+
+/// Result of a GEMM run ([`crate::Simulation::run_gemm`]).
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Tick the CPU program finished.
+    pub total_ticks: Tick,
+    /// Per-job accelerator records (doorbell → MSI).
+    pub jobs: Vec<JobRecord>,
+    /// SMMU statistics snapshot (zeroes when the SMMU is disabled).
+    pub smmu: SmmuStats,
+    /// All module counters.
+    pub stats: Stats,
+}
+
+impl RunReport {
+    /// End-to-end wall-clock time in nanoseconds (driver + transfer +
+    /// compute + interrupt).
+    pub fn total_time_ns(&self) -> f64 {
+        units::to_ns(self.total_ticks)
+    }
+
+    /// Accelerator busy time: sum of job durations in nanoseconds.
+    pub fn gemm_time_ns(&self) -> f64 {
+        self.jobs.iter().map(|j| j.duration_ns()).sum()
+    }
+
+    /// Bytes the accelerator moved (loads + stores).
+    pub fn bytes_moved(&self) -> u64 {
+        self.jobs
+            .iter()
+            .map(|j| j.bytes_loaded + j.bytes_stored)
+            .sum()
+    }
+
+    /// Achieved accelerator data bandwidth in GB/s.
+    pub fn achieved_gbps(&self) -> f64 {
+        let t = self.gemm_time_ns();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.bytes_moved() as f64 / t
+        }
+    }
+
+    /// Translation overhead: translation time as a fraction of total
+    /// time (the paper's Table IV "Trans Overhead" row).
+    pub fn translation_overhead(&self) -> f64 {
+        let total = self.total_time_ns();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.smmu.trans_time_sum_ns / total
+        }
+    }
+
+    /// Host-DRAM energy in nanojoules (0 when the host memory backend is
+    /// the fixed-latency model, which carries no energy model).
+    pub fn host_mem_energy_nj(&self) -> f64 {
+        self.stats.get_or_zero("host_mem.energy_total_nj")
+    }
+
+    /// Device-DRAM energy in nanojoules (0 without device memory).
+    pub fn dev_mem_energy_nj(&self) -> f64 {
+        self.stats.get_or_zero("dev_mem.energy_total_nj")
+    }
+
+    /// Total DRAM energy in nanojoules across both memories.
+    pub fn dram_energy_nj(&self) -> f64 {
+        self.host_mem_energy_nj() + self.dev_mem_energy_nj()
+    }
+
+    /// DRAM energy efficiency of the run in picojoules per byte moved by
+    /// the accelerator (0 when no bytes moved or no energy model).
+    pub fn dram_pj_per_byte(&self) -> f64 {
+        let bytes = self.bytes_moved();
+        if bytes == 0 {
+            0.0
+        } else {
+            self.dram_energy_nj() * 1000.0 / bytes as f64
+        }
+    }
+}
+
+/// Result of a ViT layer run ([`crate::Simulation::run_vit_layer`]).
+#[derive(Clone, Debug)]
+pub struct VitReport {
+    /// Tick the CPU program finished.
+    pub total_ticks: Tick,
+    /// `(phase label, duration ns)` in execution order; labels are
+    /// `"gemm:<op>"` or `"nongemm:<op>"`.
+    pub phases: Vec<(String, f64)>,
+    /// Per-job accelerator records.
+    pub jobs: Vec<JobRecord>,
+    /// All module counters.
+    pub stats: Stats,
+}
+
+impl VitReport {
+    /// End-to-end time of the simulated layer in nanoseconds.
+    pub fn total_time_ns(&self) -> f64 {
+        units::to_ns(self.total_ticks)
+    }
+
+    /// Time spent in GEMM phases (driver + transfer + compute).
+    pub fn gemm_ns(&self) -> f64 {
+        self.phase_sum("gemm:")
+    }
+
+    /// Time spent in Non-GEMM (CPU streaming) phases.
+    pub fn non_gemm_ns(&self) -> f64 {
+        self.phase_sum("nongemm:")
+    }
+
+    /// Residual time not covered by either phase class.
+    pub fn other_ns(&self) -> f64 {
+        (self.total_time_ns() - self.gemm_ns() - self.non_gemm_ns()).max(0.0)
+    }
+
+    /// Fraction of the layer spent in Non-GEMM work.
+    pub fn non_gemm_fraction(&self) -> f64 {
+        let t = self.total_time_ns();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.non_gemm_ns() / t
+        }
+    }
+
+    /// Extrapolate the single-layer measurement to a full model of
+    /// `layers` identical layers (the paper's Section V-D composition).
+    pub fn full_model_ns(&self, layers: u32) -> f64 {
+        self.total_time_ns() * f64::from(layers)
+    }
+
+    fn phase_sum(&self, prefix: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|(label, _)| label.starts_with(prefix))
+            .map(|(_, ns)| ns)
+            .sum()
+    }
+
+    /// Aggregate phase durations by operator name.
+    pub fn by_op(&self) -> Vec<(String, f64)> {
+        let mut acc: Vec<(String, f64)> = Vec::new();
+        for (label, ns) in &self.phases {
+            match acc.iter_mut().find(|(l, _)| l == label) {
+                Some((_, total)) => *total += ns,
+                None => acc.push((label.clone(), *ns)),
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_phases(phases: Vec<(&str, f64)>) -> VitReport {
+        let total: f64 = phases.iter().map(|(_, ns)| ns).sum();
+        VitReport {
+            total_ticks: units::ns(total),
+            phases: phases
+                .into_iter()
+                .map(|(l, ns)| (l.to_string(), ns))
+                .collect(),
+            jobs: vec![],
+            stats: Stats::new(),
+        }
+    }
+
+    #[test]
+    fn phase_classification() {
+        let r = report_with_phases(vec![
+            ("gemm:qkv", 100.0),
+            ("nongemm:softmax", 40.0),
+            ("gemm:fc1", 200.0),
+        ]);
+        assert_eq!(r.gemm_ns(), 300.0);
+        assert_eq!(r.non_gemm_ns(), 40.0);
+        assert!(r.other_ns() < 1e-9);
+        assert!((r.non_gemm_fraction() - 40.0 / 340.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn by_op_merges_repeats() {
+        let r = report_with_phases(vec![
+            ("gemm:scores", 10.0),
+            ("gemm:scores", 15.0),
+            ("nongemm:ln1", 5.0),
+        ]);
+        let by = r.by_op();
+        assert_eq!(by[0], ("gemm:scores".to_string(), 25.0));
+    }
+
+    #[test]
+    fn full_model_scales_linearly() {
+        let r = report_with_phases(vec![("gemm:qkv", 50.0)]);
+        assert_eq!(r.full_model_ns(12), 600.0);
+    }
+}

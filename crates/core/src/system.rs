@@ -1,0 +1,888 @@
+//! System builder and simulation driver.
+
+use crate::addrmap;
+use crate::{
+    AccessMode, BuildError, InterconnectKind, MemBackendConfig, MemoryLocation, RunError,
+    RunReport, SystemConfig, VitReport,
+};
+use accesys_accel::{AccelController, AccelJob, GemmOperands};
+use accesys_cache::{Cache, CoherentConfig};
+use accesys_cpu::{CpuComplex, CpuOp};
+use accesys_dma::DmaEngine;
+use accesys_interconnect::{
+    FlitLink, PcieEndpoint, PcieEndpointConfig, PcieLink, PcieSwitch, RootComplex,
+    RootComplexConfig, SwitchPort, Xbar, XbarConfig,
+};
+use accesys_mem::{Dram, SimpleMemory};
+use accesys_sim::{streams, units, Kernel, Module, ModuleId, Msg, RunLimit, Stats, Tick};
+use accesys_smmu::{Smmu, SmmuStats};
+use accesys_workload::{vit_ops, GemmSpec, VitModel};
+use std::sync::Arc;
+
+/// Module ids of the built system.
+#[derive(Clone, Debug)]
+#[allow(dead_code)] // some handles exist purely for instrumentation
+struct Handles {
+    host_mem: ModuleId,
+    membus: ModuleId,
+    llc: ModuleId,
+    l1d: ModuleId,
+    iocache: Option<ModuleId>,
+    cpu: ModuleId,
+    smmu: Option<ModuleId>,
+    rc: ModuleId,
+    switch: Option<ModuleId>,
+    eps: Vec<ModuleId>,
+    ctrls: Vec<ModuleId>,
+    dmas: Vec<ModuleId>,
+    devmem_xbar: Option<ModuleId>,
+}
+
+/// A built system ready to run workloads.
+///
+/// One `Simulation` owns one [`Kernel`] with the full Fig. 1 topology:
+/// CPU cluster + caches, MemBus, SMMU, the configured interconnect
+/// (PCIe RC / switch / links / endpoints, or a CXL flit link), one DMA
+/// engine + accelerator wrapper per cluster member, and the configured
+/// memory backends.
+///
+/// ```
+/// use accesys::{Simulation, SystemConfig};
+/// use accesys_workload::GemmSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sim = Simulation::new(SystemConfig::paper_baseline())?;
+/// let report = sim.run_gemm(GemmSpec::square(64))?;
+/// assert!(report.total_time_ns() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulation {
+    cfg: SystemConfig,
+    kernel: Kernel,
+    h: Handles,
+    next_cookie: u64,
+}
+
+fn make_mem(name: &str, cfg: &MemBackendConfig) -> Box<dyn Module> {
+    match cfg {
+        MemBackendConfig::Simple(c) => Box::new(SimpleMemory::new(name, *c)),
+        MemBackendConfig::Dram(t) => Box::new(Dram::new(name, t.dram_config())),
+    }
+}
+
+impl Simulation {
+    /// Build a system from `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidConfig`] when [`SystemConfig::validate`]
+    /// rejects the configuration.
+    pub fn new(cfg: SystemConfig) -> Result<Self, BuildError> {
+        cfg.validate()?;
+        let mut kernel = Kernel::new();
+        let dc = cfg.access_mode == AccessMode::DirectCache;
+        let has_dev = cfg.dev_mem.is_some();
+        let n = cfg.accel_count as usize;
+        let cxl = cfg.interconnect == InterconnectKind::Cxl;
+
+        // Reserve every slot first: the topology is cyclic.
+        let host_mem = kernel.add_placeholder();
+        let membus = kernel.add_placeholder();
+        let llc = kernel.add_placeholder();
+        let l1d = kernel.add_placeholder();
+        let iocache = dc.then(|| kernel.add_placeholder());
+        let cpu = kernel.add_placeholder();
+        let smmu = cfg.smmu.is_some().then(|| kernel.add_placeholder());
+        let rc = kernel.add_placeholder();
+        let switch = (!cxl).then(|| kernel.add_placeholder());
+        // Downstream of the RC: one link to the switch (PCIe) or straight
+        // to the single endpoint (CXL).
+        let link_rc_down = kernel.add_placeholder();
+        let link_sw_up = (!cxl).then(|| kernel.add_placeholder());
+        let link_sw_down: Vec<ModuleId> = if cxl {
+            Vec::new()
+        } else {
+            (0..n).map(|_| kernel.add_placeholder()).collect()
+        };
+        let link_ep_up: Vec<ModuleId> = (0..n).map(|_| kernel.add_placeholder()).collect();
+        let eps: Vec<ModuleId> = (0..n).map(|_| kernel.add_placeholder()).collect();
+        let dmas: Vec<ModuleId> = (0..n).map(|_| kernel.add_placeholder()).collect();
+        let ctrls: Vec<ModuleId> = (0..n).map(|_| kernel.add_placeholder()).collect();
+        let devmem_xbar = has_dev.then(|| kernel.add_placeholder());
+        let dev_mem = has_dev.then(|| kernel.add_placeholder());
+
+        // Memory backends.
+        kernel.set_module(host_mem, make_mem("host_mem", &cfg.host_mem));
+        if let (Some(id), Some(mem_cfg)) = (dev_mem, cfg.dev_mem.as_ref()) {
+            kernel.set_module(id, make_mem("dev_mem", mem_cfg));
+        }
+
+        // MemBus: MSI → CPU, device windows → RC, rest → memory ctrl.
+        let mut bus = Xbar::new("membus", cfg.membus, host_mem);
+        bus.add_route(addrmap::MSI, cpu);
+        bus.add_route(addrmap::DEVICE_BAR, rc);
+        if has_dev {
+            bus.add_route(addrmap::DEVMEM, rc);
+        }
+        kernel.set_module(membus, Box::new(bus));
+
+        // Cache hierarchy.
+        let mut llc_cache = Cache::new("llc", cfg.llc, membus);
+        if cfg.coherent && dc {
+            llc_cache = llc_cache.with_coherence(CoherentConfig {
+                cpu_cache: l1d,
+                io_stream_base: streams::IO_BASE,
+            });
+        }
+        kernel.set_module(llc, Box::new(llc_cache));
+        kernel.set_module(l1d, Box::new(Cache::new("l1d", cfg.l1d, llc)));
+        if let Some(id) = iocache {
+            kernel.set_module(id, Box::new(Cache::new("iocache", cfg.iocache, llc)));
+        }
+
+        // The host target for accelerator traffic entering from PCIe/CXL.
+        let io_entry = if dc {
+            iocache.expect("DC mode allocates an IOCache")
+        } else {
+            membus
+        };
+
+        // SMMU (bump-in-the-wire in front of the IO entry point).
+        if let (Some(id), Some(smmu_cfg)) = (smmu, cfg.smmu.as_ref()) {
+            kernel.set_module(id, Box::new(Smmu::new("smmu", *smmu_cfg, io_entry)));
+        }
+        let rc_host_target = smmu.unwrap_or(io_entry);
+
+        // Links.
+        if cxl {
+            let ep0 = eps[0];
+            kernel.set_module(
+                link_rc_down,
+                Box::new(FlitLink::new("cxl.down", cfg.cxl_link, ep0)),
+            );
+            kernel.set_module(
+                link_ep_up[0],
+                Box::new(FlitLink::new("cxl.up", cfg.cxl_link, rc)),
+            );
+        } else {
+            let sw = switch.expect("PCIe topology has a switch");
+            kernel.set_module(
+                link_rc_down,
+                Box::new(PcieLink::new("link.rc_down", cfg.pcie.link, sw)),
+            );
+            kernel.set_module(
+                link_sw_up.expect("PCIe topology"),
+                Box::new(PcieLink::new("link.sw_up", cfg.pcie.link, rc)),
+            );
+            for i in 0..n {
+                kernel.set_module(
+                    link_sw_down[i],
+                    Box::new(PcieLink::new(
+                        &format!("link.sw_down{i}"),
+                        cfg.pcie.link,
+                        eps[i],
+                    )),
+                );
+                kernel.set_module(
+                    link_ep_up[i],
+                    Box::new(PcieLink::new(&format!("link.ep_up{i}"), cfg.pcie.link, sw)),
+                );
+            }
+        }
+
+        // Root complex (PCIe) / host bridge (CXL).
+        let rc_cfg = if cxl {
+            RootComplexConfig {
+                max_payload_bytes: cfg.pcie.rc.max_payload_bytes,
+                ..RootComplexConfig::cxl_host_bridge()
+            }
+        } else {
+            cfg.pcie.rc
+        };
+        let rc_name = if cxl { "cxl.bridge" } else { "pcie.rc" };
+        let mut rc_mod = RootComplex::new(rc_name, rc_cfg, rc_host_target, link_rc_down)
+            .with_device_range(addrmap::DEVICE_BAR)
+            .with_sideband(addrmap::MSI, membus);
+        if let Some(sw) = switch {
+            rc_mod.add_pcie_module(sw);
+        }
+        for &ep in &eps {
+            rc_mod.add_pcie_module(ep);
+        }
+        if has_dev {
+            rc_mod.add_device_range(addrmap::DEVMEM);
+        }
+        kernel.set_module(rc, Box::new(rc_mod));
+
+        // Switch with one port per cluster member (PCIe only).
+        if let Some(sw) = switch {
+            let mut sw_mod =
+                PcieSwitch::new("pcie.switch", cfg.pcie.switch, link_sw_up.expect("PCIe"));
+            for i in 0..n {
+                let mut ranges = vec![addrmap::device_bar(i)];
+                if has_dev && i == 0 {
+                    ranges.push(addrmap::DEVMEM);
+                }
+                sw_mod.add_port(SwitchPort {
+                    egress_link: link_sw_down[i],
+                    endpoint: eps[i],
+                    ranges,
+                });
+            }
+            kernel.set_module(sw, Box::new(sw_mod));
+        }
+
+        // Endpoints: MMIO to the controller, NUMA window to DevMem.
+        for i in 0..n {
+            let ep_cfg = if cxl {
+                PcieEndpointConfig {
+                    tags: cfg.pcie.ep.tags,
+                    proc_ns: cfg.pcie.ep.proc_ns,
+                    ..PcieEndpointConfig::cxl()
+                }
+            } else {
+                cfg.pcie.ep
+            };
+            let ep_name = if cxl {
+                "cxl.ep".to_string()
+            } else {
+                format!("pcie.ep{i}")
+            };
+            let mut ep_mod = PcieEndpoint::new(
+                &ep_name,
+                ep_cfg,
+                link_ep_up[i],
+                ctrls[i],
+                addrmap::device_bar(i),
+            );
+            if i == 0 {
+                if let Some(xbar) = devmem_xbar {
+                    ep_mod.add_inward_route(addrmap::DEVMEM, xbar);
+                }
+            }
+            kernel.set_module(eps[i], Box::new(ep_mod));
+        }
+
+        // DevMem controller frontend.
+        if let (Some(xbar), Some(mem)) = (devmem_xbar, dev_mem) {
+            let cfg_x = XbarConfig {
+                width_bytes: 64,
+                freq_ghz: 2.0,
+                latency_ns: 15.0,
+            };
+            kernel.set_module(xbar, Box::new(Xbar::new("devmem_ctrl", cfg_x, mem)));
+        }
+
+        // DMA engines + accelerator controllers.
+        for i in 0..n {
+            kernel.set_module(
+                dmas[i],
+                Box::new(DmaEngine::new(&format!("dma{i}"), cfg.dma)),
+            );
+            kernel.set_module(
+                ctrls[i],
+                Box::new(AccelController::new(
+                    &format!("accel{i}"),
+                    cfg.accel,
+                    dmas[i],
+                    eps[i],
+                )),
+            );
+        }
+
+        // CPU cluster.
+        let mut cpu_mod = CpuComplex::new("cpu", cfg.cpu, l1d, membus);
+        cpu_mod.add_uncached_range(addrmap::DEVICE_BAR.base, addrmap::DEVICE_BAR.size);
+        if has_dev {
+            cpu_mod.add_uncached_range(addrmap::DEVMEM.base, addrmap::DEVMEM.size);
+        }
+        kernel.set_module(cpu, Box::new(cpu_mod));
+
+        Ok(Simulation {
+            cfg,
+            kernel,
+            h: Handles {
+                host_mem,
+                membus,
+                llc,
+                l1d,
+                iocache,
+                cpu,
+                smmu,
+                rc,
+                switch,
+                eps,
+                ctrls,
+                dmas,
+                devmem_xbar,
+            },
+            next_cookie: 0,
+        })
+    }
+
+    /// The configuration this system was built from.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Direct access to the kernel (advanced use: custom modules, extra
+    /// instrumentation).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable access to the kernel.
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// Number of accelerators in the cluster.
+    pub fn accel_count(&self) -> usize {
+        self.h.ctrls.len()
+    }
+
+    /// Current SMMU statistics (zeroes when translation is disabled).
+    pub fn smmu_stats(&self) -> SmmuStats {
+        self.h
+            .smmu
+            .and_then(|id| self.kernel.module::<Smmu>(id))
+            .map(|s| s.smmu_stats())
+            .unwrap_or_default()
+    }
+
+    /// All module counters.
+    pub fn stats(&self) -> Stats {
+        self.kernel.stats()
+    }
+
+    fn alloc_cookie(&mut self) -> u64 {
+        let c = self.next_cookie % 1000;
+        self.next_cookie += 1;
+        c
+    }
+
+    /// Lay out one GEMM job in the configured memory location, in the
+    /// data window of cluster member `device`.
+    fn layout_job(
+        &self,
+        spec: &GemmSpec,
+        cookie: u64,
+        functional: Option<Arc<GemmOperands>>,
+        device: usize,
+    ) -> AccelJob {
+        let (a_sz, b_sz, _c_sz) =
+            self.cfg
+                .accel
+                .region_bytes(spec.m, spec.n, spec.k, spec.dtype_bytes);
+        let page_align = |x: u64| (x + 0xFFF) & !0xFFF;
+        // Each cluster member works in its own 64 MiB slice of the data
+        // window so concurrent shards do not alias rows.
+        let dev_off = device as u64 * 0x0400_0000;
+        let (base, virt, target) = match self.cfg.mem_location {
+            MemoryLocation::Host => {
+                if self.cfg.smmu.is_some() {
+                    (addrmap::ACCEL_VA_BASE + dev_off, true, self.h.eps[device])
+                } else {
+                    (addrmap::DATA_PA_BASE + dev_off, false, self.h.eps[device])
+                }
+            }
+            MemoryLocation::Device => (
+                addrmap::DEVMEM.base + dev_off,
+                false,
+                self.h.devmem_xbar.expect("validated: devmem present"),
+            ),
+        };
+        let a_addr = base;
+        let b_addr = a_addr + page_align(a_sz);
+        let c_addr = b_addr + page_align(b_sz);
+        AccelJob {
+            m: spec.m,
+            n: spec.n,
+            k: spec.k,
+            dtype_bytes: spec.dtype_bytes,
+            a_addr,
+            b_addr,
+            c_addr,
+            virt,
+            data_target: target,
+            msi_addr: addrmap::MSI.base,
+            cookie,
+            functional,
+        }
+    }
+
+    fn enqueue(&mut self, job: AccelJob, device: usize) {
+        self.kernel
+            .module_mut::<AccelController>(self.h.ctrls[device])
+            .expect("controller present")
+            .enqueue_job(job);
+    }
+
+    fn run_program(&mut self, program: Vec<CpuOp>) -> Result<(Tick, Vec<(String, Tick)>), RunError> {
+        let start = self.kernel.now();
+        {
+            let cpu = self
+                .kernel
+                .module_mut::<CpuComplex>(self.h.cpu)
+                .expect("cpu present");
+            cpu.load_program(program);
+        }
+        self.kernel.schedule(start, self.h.cpu, Msg::Timer(0));
+        self.kernel.run(RunLimit::default())?;
+        let cpu = self
+            .kernel
+            .module::<CpuComplex>(self.h.cpu)
+            .expect("cpu present");
+        let end = cpu
+            .finished_at()
+            .ok_or_else(|| RunError::NoCompletion("cpu program did not finish".into()))?;
+        let marks = cpu.marks().to_vec();
+        Ok((end - start, marks))
+    }
+
+    fn record_marks(&self) -> Vec<usize> {
+        self.h
+            .ctrls
+            .iter()
+            .map(|&c| {
+                self.kernel
+                    .module::<AccelController>(c)
+                    .expect("controller present")
+                    .records()
+                    .len()
+            })
+            .collect()
+    }
+
+    fn records_since(&self, before: &[usize]) -> Vec<accesys_accel::JobRecord> {
+        let mut out = Vec::new();
+        for (i, &c) in self.h.ctrls.iter().enumerate() {
+            let recs = self
+                .kernel
+                .module::<AccelController>(c)
+                .expect("controller present")
+                .records();
+            out.extend_from_slice(&recs[before[i]..]);
+        }
+        out
+    }
+
+    /// Run one GEMM through the full system (driver doorbell → DMA →
+    /// compute → MSI) and report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the simulation livelocks or the program
+    /// never observes the completion interrupt.
+    pub fn run_gemm(&mut self, spec: GemmSpec) -> Result<RunReport, RunError> {
+        let functional = if self.cfg.functional {
+            let (a, b) = spec.generate_operands();
+            Some(Arc::new(GemmOperands::new(
+                spec.m as usize,
+                spec.n as usize,
+                spec.k as usize,
+                a,
+                b,
+            )))
+        } else {
+            None
+        };
+        self.run_gemm_with(spec, functional).map(|(r, _)| r)
+    }
+
+    /// Run one GEMM and verify the functional result against a golden
+    /// reference (independent of `cfg.functional`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] as [`Simulation::run_gemm`] does.
+    pub fn run_gemm_verified(&mut self, spec: GemmSpec) -> Result<(RunReport, bool), RunError> {
+        let (a, b) = spec.generate_operands();
+        let ops = Arc::new(GemmOperands::new(
+            spec.m as usize,
+            spec.n as usize,
+            spec.k as usize,
+            a,
+            b,
+        ));
+        let (report, ops) = self.run_gemm_with(spec, Some(ops))?;
+        let ops = ops.expect("operands attached");
+        let passed = ops.result().map(|r| r == ops.golden()).unwrap_or(false);
+        Ok((report, passed))
+    }
+
+    fn run_gemm_with(
+        &mut self,
+        spec: GemmSpec,
+        functional: Option<Arc<GemmOperands>>,
+    ) -> Result<(RunReport, Option<Arc<GemmOperands>>), RunError> {
+        let cookie = self.alloc_cookie();
+        let job = self.layout_job(&spec, cookie, functional.clone(), 0);
+        let before = self.record_marks();
+        self.enqueue(job, 0);
+        let program = vec![
+            CpuOp::Mark {
+                label: "gemm:job".into(),
+            },
+            CpuOp::LaunchJob {
+                doorbell_addr: addrmap::DOORBELL,
+                job_cookie: cookie,
+            },
+        ];
+        let (elapsed, _marks) = self.run_program(program)?;
+        Ok((
+            RunReport {
+                total_ticks: elapsed,
+                jobs: self.records_since(&before),
+                smmu: self.smmu_stats(),
+                stats: self.stats(),
+            },
+            functional,
+        ))
+    }
+
+    /// Run one GEMM split row-wise across **all** cluster members: shard
+    /// `i` computes rows `[i*m/N, (i+1)*m/N)` on accelerator `i`, all
+    /// launched asynchronously and joined on their MSIs.
+    ///
+    /// With `accel_count == 1` this degenerates to [`Simulation::run_gemm`]
+    /// (modulo the async driver path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the simulation livelocks or any interrupt
+    /// is lost.
+    pub fn run_gemm_sharded(&mut self, spec: GemmSpec) -> Result<RunReport, RunError> {
+        let n = self.accel_count() as u32;
+        let before = self.record_marks();
+        let rows_per = spec.m.div_ceil(n);
+        let mut program = vec![CpuOp::Mark {
+            label: "gemm:sharded".into(),
+        }];
+        let mut cookies = Vec::new();
+        for dev in 0..n {
+            let row0 = dev * rows_per;
+            if row0 >= spec.m {
+                break;
+            }
+            let rows = rows_per.min(spec.m - row0);
+            let shard = GemmSpec {
+                m: rows,
+                ..spec
+            };
+            let cookie = self.alloc_cookie();
+            let job = self.layout_job(&shard, cookie, None, dev as usize);
+            self.enqueue(job, dev as usize);
+            program.push(CpuOp::LaunchAsync {
+                doorbell_addr: addrmap::doorbell(dev as usize),
+            });
+            cookies.push(cookie);
+        }
+        program.push(CpuOp::WaitAll { cookies });
+        let (elapsed, _marks) = self.run_program(program)?;
+        Ok(RunReport {
+            total_ticks: elapsed,
+            jobs: self.records_since(&before),
+            smmu: self.smmu_stats(),
+            stats: self.stats(),
+        })
+    }
+
+    /// Run one encoder layer of `model`: GEMM operators offloaded to the
+    /// accelerator, Non-GEMM operators streamed on the CPU from the
+    /// configured memory location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the simulation livelocks or an interrupt
+    /// is lost.
+    pub fn run_vit_layer(&mut self, model: VitModel) -> Result<VitReport, RunError> {
+        self.run_ops(&vit_ops(model))
+    }
+
+    /// Run the full ViT inference graph (embedding, every encoder layer,
+    /// classification head). Simulation cost scales with
+    /// `model.layers()`; for sweeps prefer [`Simulation::run_vit_layer`]
+    /// plus the Section V-D composition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the simulation livelocks or an interrupt
+    /// is lost.
+    pub fn run_vit_full(&mut self, model: VitModel) -> Result<VitReport, RunError> {
+        self.run_ops(&accesys_workload::vit_full_ops(model))
+    }
+
+    /// Run one BERT encoder layer at `seq_len` tokens — the NLP workload
+    /// the paper's introduction motivates. Same GEMM/Non-GEMM split
+    /// machinery as [`Simulation::run_vit_layer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the simulation livelocks or an interrupt
+    /// is lost.
+    pub fn run_bert_layer(
+        &mut self,
+        model: accesys_workload::BertModel,
+        seq_len: u32,
+    ) -> Result<VitReport, RunError> {
+        self.run_ops(&accesys_workload::bert_ops(model, seq_len))
+    }
+
+    fn run_ops(&mut self, ops: &[accesys_workload::Op]) -> Result<VitReport, RunError> {
+        let mut program = Vec::new();
+        let act_base = match self.cfg.mem_location {
+            MemoryLocation::Host => addrmap::HOST_ACT_BASE,
+            MemoryLocation::Device => addrmap::DEVMEM_ACT_BASE,
+        };
+        let mut read_cursor = act_base;
+        let mut write_cursor = act_base + 0x0800_0000;
+        let before = self.record_marks();
+        for op in ops {
+            if let Some(g) = op.gemm {
+                for _ in 0..op.count {
+                    let cookie = self.alloc_cookie();
+                    let job = self.layout_job(&g, cookie, None, 0);
+                    self.enqueue(job, 0);
+                    program.push(CpuOp::Mark {
+                        label: format!("gemm:{}", op.name),
+                    });
+                    program.push(CpuOp::LaunchJob {
+                        doorbell_addr: addrmap::DOORBELL,
+                        job_cookie: cookie,
+                    });
+                }
+            } else {
+                program.push(CpuOp::Mark {
+                    label: format!("nongemm:{}", op.name),
+                });
+                program.push(CpuOp::Stream {
+                    read_bytes: op.read_bytes * u64::from(op.count),
+                    write_bytes: op.write_bytes * u64::from(op.count),
+                    flops: op.flops * u64::from(op.count),
+                    read_addr: read_cursor,
+                    write_addr: write_cursor,
+                });
+                read_cursor += op.read_bytes * u64::from(op.count);
+                write_cursor += op.write_bytes * u64::from(op.count);
+            }
+        }
+        let (elapsed, marks) = self.run_program(program)?;
+        // Convert marks into phase durations.
+        let mut phases = Vec::new();
+        for pair in marks.windows(2) {
+            let (label, t0) = (&pair[0].0, pair[0].1);
+            let t1 = pair[1].1;
+            phases.push((label.clone(), units::to_ns(t1 - t0)));
+        }
+        Ok(VitReport {
+            total_ticks: elapsed,
+            phases,
+            jobs: self.records_since(&before),
+            stats: self.stats(),
+        })
+    }
+
+    /// Run a single CPU streaming kernel (used by NUMA micro-studies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the program does not finish.
+    pub fn run_stream(
+        &mut self,
+        read_bytes: u64,
+        write_bytes: u64,
+        flops: u64,
+    ) -> Result<f64, RunError> {
+        let act_base = match self.cfg.mem_location {
+            MemoryLocation::Host => addrmap::HOST_ACT_BASE,
+            MemoryLocation::Device => addrmap::DEVMEM_ACT_BASE,
+        };
+        let program = vec![
+            CpuOp::Mark {
+                label: "nongemm:stream".into(),
+            },
+            CpuOp::Stream {
+                read_bytes,
+                write_bytes,
+                flops,
+                read_addr: act_base,
+                write_addr: act_base + 0x0800_0000,
+            },
+        ];
+        let (elapsed, _) = self.run_program(program)?;
+        Ok(units::to_ns(elapsed))
+    }
+
+    /// Ids useful for tests and instrumentation: `(cpu, llc, host_mem,
+    /// rc, ep0, ctrl0, dma0, membus)`.
+    #[doc(hidden)]
+    pub fn debug_handles(&self) -> (ModuleId, ModuleId, ModuleId, ModuleId, ModuleId, ModuleId, ModuleId, ModuleId) {
+        (
+            self.h.cpu,
+            self.h.llc,
+            self.h.host_mem,
+            self.h.rc,
+            self.h.eps[0],
+            self.h.ctrls[0],
+            self.h.dmas[0],
+            self.h.membus,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accesys_mem::MemTech;
+
+    #[test]
+    fn baseline_gemm_end_to_end() {
+        let mut sim = Simulation::new(SystemConfig::paper_baseline()).unwrap();
+        let report = sim.run_gemm(GemmSpec::square(128)).unwrap();
+        assert_eq!(report.jobs.len(), 1);
+        assert!(report.total_time_ns() > 0.0);
+        // Traffic flowed over PCIe and through the SMMU.
+        assert!(report.stats.get_or_zero("pcie.ep0.reads_sent") > 0.0);
+        assert!(report.smmu.translations > 0);
+        assert!(report.stats.get_or_zero("cpu.irqs") >= 1.0);
+    }
+
+    #[test]
+    fn functional_result_verified_through_full_system() {
+        let mut sim = Simulation::new(SystemConfig::paper_baseline()).unwrap();
+        let (report, passed) = sim.run_gemm_verified(GemmSpec::square(64)).unwrap();
+        assert!(passed, "functional GEMM result mismatch");
+        assert!(report.bytes_moved() > 0);
+    }
+
+    #[test]
+    fn devmem_gemm_bypasses_pcie() {
+        let mut sim = Simulation::new(SystemConfig::devmem(MemTech::Hbm2)).unwrap();
+        let report = sim.run_gemm(GemmSpec::square(128)).unwrap();
+        assert_eq!(report.jobs.len(), 1);
+        // Data came from device memory, not over the PCIe endpoint.
+        assert!(report.stats.get_or_zero("dev_mem.bytes") > 0.0);
+        assert_eq!(report.stats.get_or_zero("pcie.ep0.reads_sent"), 0.0);
+    }
+
+    #[test]
+    fn faster_pcie_is_faster_for_memory_bound_gemm() {
+        let t = |gb: f64| {
+            let mut sim =
+                Simulation::new(SystemConfig::pcie_host(gb, MemTech::Ddr4)).unwrap();
+            sim.run_gemm(GemmSpec::square(256)).unwrap().total_time_ns()
+        };
+        let slow = t(2.0);
+        let fast = t(16.0);
+        assert!(slow > 2.0 * fast, "slow {slow} fast {fast}");
+    }
+
+    #[test]
+    fn dm_mode_skips_the_cache_hierarchy() {
+        let mut cfg = SystemConfig::paper_baseline();
+        cfg.access_mode = AccessMode::DirectMemory;
+        let mut sim = Simulation::new(cfg).unwrap();
+        let report = sim.run_gemm(GemmSpec::square(64)).unwrap();
+        assert_eq!(report.stats.get_or_zero("iocache.misses"), 0.0);
+        assert!(report.stats.get_or_zero("host_mem.bytes") > 0.0);
+    }
+
+    #[test]
+    fn vit_layer_runs_with_phases() {
+        let mut sim = Simulation::new(SystemConfig::pcie_host(8.0, MemTech::Ddr4)).unwrap();
+        let report = sim.run_vit_layer(VitModel::Base).unwrap();
+        assert!(report.gemm_ns() > 0.0);
+        assert!(report.non_gemm_ns() > 0.0);
+        assert_eq!(report.jobs.len(), 4 + 2 * 12); // qkv,proj,fc1,fc2 + 2x12 heads
+    }
+
+    // ---- CXL topology ----
+
+    #[test]
+    fn cxl_system_runs_gemm_end_to_end() {
+        let mut sim = Simulation::new(SystemConfig::cxl_host(8, MemTech::Ddr4)).unwrap();
+        let report = sim.run_gemm(GemmSpec::square(128)).unwrap();
+        assert_eq!(report.jobs.len(), 1);
+        // Traffic crossed the flit link, not a PCIe hierarchy.
+        assert!(report.stats.get_or_zero("cxl.up.flits") > 0.0);
+        assert_eq!(report.stats.get_or_zero("pcie.switch.up_tlps"), 0.0);
+    }
+
+    #[test]
+    fn cxl_functional_results_stay_correct() {
+        let mut sim = Simulation::new(SystemConfig::cxl_host(8, MemTech::Ddr4)).unwrap();
+        let (_, passed) = sim.run_gemm_verified(GemmSpec::square(64)).unwrap();
+        assert!(passed);
+    }
+
+    #[test]
+    fn cxl_beats_equal_bandwidth_pcie_on_small_transfers() {
+        // Same effective bandwidth; CXL wins on per-hop latency for a
+        // latency-dominated (small) job.
+        let mut cxl = Simulation::new(SystemConfig::cxl_host(8, MemTech::Ddr4)).unwrap();
+        let cxl_bw = cxl.config().cxl_link.payload_bandwidth_gbps();
+        let mut pcie =
+            Simulation::new(SystemConfig::pcie_host(cxl_bw, MemTech::Ddr4)).unwrap();
+        let t_cxl = cxl.run_gemm(GemmSpec::square(64)).unwrap().total_time_ns();
+        let t_pcie = pcie.run_gemm(GemmSpec::square(64)).unwrap().total_time_ns();
+        assert!(t_cxl < t_pcie, "cxl {t_cxl} vs pcie {t_pcie}");
+    }
+
+    #[test]
+    fn cxl_rejects_multi_accel() {
+        let cfg = SystemConfig::cxl_host(8, MemTech::Ddr4).with_accel_count(2);
+        assert!(Simulation::new(cfg).is_err());
+    }
+
+    // ---- multi-accelerator cluster ----
+
+    #[test]
+    fn sharded_gemm_uses_every_cluster_member() {
+        let cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4).with_accel_count(4);
+        let mut sim = Simulation::new(cfg).unwrap();
+        let report = sim.run_gemm_sharded(GemmSpec::square(256)).unwrap();
+        assert_eq!(report.jobs.len(), 4);
+        for i in 0..4 {
+            assert!(
+                report.stats.get_or_zero(&format!("accel{i}.jobs_done")) >= 1.0,
+                "accelerator {i} idle"
+            );
+        }
+        // All shards C bytes sum to the full matrix.
+        let stored: u64 = report.jobs.iter().map(|j| j.bytes_stored).sum();
+        assert_eq!(stored, 256 * 256 * 4);
+    }
+
+    #[test]
+    fn sharding_scales_compute_bound_jobs() {
+        // Strongly compute-bound: 4 accelerators ≈ 4× faster.
+        let slow_array = |count: u32| {
+            let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4)
+                .with_accel_count(count)
+                .with_compute_override_ns(50_000.0);
+            cfg.smmu = None; // isolate compute scaling
+            let mut sim = Simulation::new(cfg).unwrap();
+            sim.run_gemm_sharded(GemmSpec::square(256))
+                .unwrap()
+                .total_time_ns()
+        };
+        let one = slow_array(1);
+        let four = slow_array(4);
+        let speedup = one / four;
+        assert!(
+            speedup > 3.0,
+            "expected near-linear scaling, got {speedup:.2}×"
+        );
+    }
+
+    #[test]
+    fn sharded_single_accel_matches_plain_run_shape() {
+        let mut sim =
+            Simulation::new(SystemConfig::pcie_host(8.0, MemTech::Ddr4)).unwrap();
+        let report = sim.run_gemm_sharded(GemmSpec::square(128)).unwrap();
+        assert_eq!(report.jobs.len(), 1);
+        assert!(report.total_time_ns() > 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # accesys-cpu
+//!
+//! The CPU cluster of the Gem5-AcceSys reproduction. The paper's
+//! evaluation exercises the CPU in two roles, both modelled here:
+//!
+//! * **Driver** ([`CpuOp::LaunchJob`]): ring the accelerator's doorbell
+//!   with a posted MMIO write that travels MemBus → Root Complex → Switch
+//!   → Endpoint, then sleep until the accelerator's MSI (a posted memory
+//!   write into the CPU's interrupt range) arrives — the paper's "kernel
+//!   driver support" feature.
+//! * **Non-GEMM engine** ([`CpuOp::Stream`]): LayerNorm/Softmax/GELU and
+//!   friends are memory-streaming kernels; the CPU issues cache-line
+//!   requests with a bounded memory-level-parallelism window, overlapping
+//!   an IPC-limited compute term. When the data lives in device memory
+//!   the lines cross the PCIe hierarchy (the NUMA effect behind the
+//!   paper's Fig. 8 Non-GEMM degradation).
+//!
+//! Programs are sequences of [`CpuOp`]; [`CpuOp::Mark`] records phase
+//! boundaries so runs can be split into GEMM and Non-GEMM time.
+
+mod cpu;
+
+pub use cpu::{CpuComplex, CpuConfig, CpuOp};

@@ -1,0 +1,15 @@
+//! # accesys-dma
+//!
+//! The multi-channel DMA engine of the accelerator wrapper. The paper
+//! lists multi-channel DMA as a feature missing from prior gem5
+//! accelerator frameworks; here each channel runs a descriptor queue,
+//! segments transfers into requests of the configured *request size* (the
+//! packet-size knob of the paper's Fig. 4 sweep), and bounds the number of
+//! requests in flight per channel.
+//!
+//! Descriptors arrive as [`DmaDescriptor`] control messages; completion is
+//! signalled with a [`DmaDone`] message to the descriptor's notify target.
+
+mod engine;
+
+pub use engine::{DmaDescriptor, DmaDone, DmaEngine, DmaEngineConfig, DmaSgDescriptor};

@@ -1,0 +1,34 @@
+//! # accesys-interconnect
+//!
+//! The interconnect fabric of the Gem5-AcceSys reproduction: the host
+//! memory bus ([`Xbar`]) and the full PCIe stack the paper adds to gem5 —
+//! unidirectional credited links ([`PcieLink`]), a store-and-forward
+//! [`PcieSwitch`] (50 ns), the [`RootComplex`] (150 ns) bridging PCIe to
+//! the memory bus, and the device-side [`PcieEndpoint`] with a bounded
+//! non-posted tag pool.
+//!
+//! Key timing behaviours, all emergent rather than fitted:
+//!
+//! * link bandwidth = lanes × lane rate × encoding efficiency,
+//! * per-TLP header bytes penalise small payloads,
+//! * per-hop byte credits and store-and-forward serialization penalise
+//!   very large payloads (the Fig. 4 convexity),
+//! * a bounded tag pool limits outstanding reads (BDP starvation).
+
+mod addr;
+mod ep;
+mod flit;
+mod link;
+mod pcie_gen;
+mod rc;
+mod switch;
+mod xbar;
+
+pub use addr::AddrRange;
+pub use ep::{PcieEndpoint, PcieEndpointConfig};
+pub use flit::{CreditUnit, FlitLink, FlitLinkConfig};
+pub use link::{PcieLink, PcieLinkConfig};
+pub use pcie_gen::PcieGen;
+pub use rc::{RootComplex, RootComplexConfig};
+pub use switch::{PcieSwitch, PcieSwitchConfig, SwitchPort};
+pub use xbar::{Xbar, XbarConfig};

@@ -1,0 +1,249 @@
+//! Store-and-forward PCIe switch.
+
+use crate::AddrRange;
+use accesys_sim::{units, Ctx, Module, ModuleId, Msg, Stats, Tick};
+
+/// One downstream port of a [`PcieSwitch`].
+#[derive(Clone, Debug)]
+pub struct SwitchPort {
+    /// Egress link toward the device.
+    pub egress_link: ModuleId,
+    /// The endpoint module reachable through this port (for response
+    /// routing via the route stack).
+    pub endpoint: ModuleId,
+    /// BAR ranges of the device behind this port.
+    pub ranges: Vec<AddrRange>,
+}
+
+/// Configuration of a [`PcieSwitch`].
+#[derive(Copy, Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PcieSwitchConfig {
+    /// Store-and-forward latency per TLP in nanoseconds (paper: 50 ns).
+    pub latency_ns: f64,
+    /// Pipelined per-TLP processing occupancy in nanoseconds — the
+    /// switch's TLP rate limit (1/`tlp_proc_ns` TLPs per ns).
+    pub tlp_proc_ns: f64,
+}
+
+impl Default for PcieSwitchConfig {
+    fn default() -> Self {
+        PcieSwitchConfig {
+            latency_ns: 50.0,
+            tlp_proc_ns: 2.0,
+        }
+    }
+}
+
+/// A PCIe switch routing TLPs between one upstream port (toward the root
+/// complex) and one or more downstream device ports.
+///
+/// Requests are routed by address (device BAR ranges → downstream,
+/// everything else → upstream); responses follow the packet route stack.
+/// The switch never returns credits itself: a packet's ingress buffer is
+/// freed when the egress [`crate::PcieLink`] puts it on the wire, so
+/// backpressure propagates hop by hop.
+pub struct PcieSwitch {
+    name: String,
+    cfg: PcieSwitchConfig,
+    up_link: ModuleId,
+    ports: Vec<SwitchPort>,
+    proc_free: Tick,
+    // stats
+    up_tlps: u64,
+    down_tlps: u64,
+    proc_stall_ns: f64,
+}
+
+impl PcieSwitch {
+    /// Create a switch with its upstream egress link; add device ports
+    /// with [`PcieSwitch::add_port`].
+    pub fn new(name: &str, cfg: PcieSwitchConfig, up_link: ModuleId) -> Self {
+        PcieSwitch {
+            name: name.to_string(),
+            cfg,
+            up_link,
+            ports: Vec::new(),
+            proc_free: 0,
+            up_tlps: 0,
+            down_tlps: 0,
+            proc_stall_ns: 0.0,
+        }
+    }
+
+    /// Attach a downstream device port.
+    pub fn add_port(&mut self, port: SwitchPort) {
+        self.ports.push(port);
+    }
+
+    /// Builder-style [`PcieSwitch::add_port`].
+    pub fn with_port(mut self, port: SwitchPort) -> Self {
+        self.add_port(port);
+        self
+    }
+
+    /// Number of downstream ports (the paper's scalability feature).
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    fn egress_for_request(&self, addr: u64) -> (ModuleId, bool) {
+        for port in &self.ports {
+            if port.ranges.iter().any(|r| r.contains(addr)) {
+                return (port.egress_link, true);
+            }
+        }
+        (self.up_link, false)
+    }
+
+    fn egress_for_response(&self, next_hop: ModuleId) -> (ModuleId, bool) {
+        for port in &self.ports {
+            if port.endpoint == next_hop {
+                return (port.egress_link, true);
+            }
+        }
+        (self.up_link, false)
+    }
+}
+
+impl Module for PcieSwitch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, msg: Msg, ctx: &mut Ctx) {
+        let mut pkt = match msg {
+            Msg::Packet(p) => p,
+            _ => return,
+        };
+        // Pipelined TLP-rate limit.
+        let proc_start = self.proc_free.max(ctx.now());
+        self.proc_free = proc_start + units::ns(self.cfg.tlp_proc_ns);
+        self.proc_stall_ns += units::to_ns(proc_start - ctx.now());
+        let out_at = proc_start + units::ns(self.cfg.latency_ns);
+
+        let (egress, down) = if pkt.cmd.is_request() {
+            pkt.route.push(ctx.self_id());
+            self.egress_for_request(pkt.addr)
+        } else {
+            let next = pkt
+                .route
+                .pop()
+                .expect("response reached switch with empty route");
+            self.egress_for_response(next)
+        };
+        if down {
+            self.down_tlps += 1;
+        } else {
+            self.up_tlps += 1;
+        }
+        ctx.send_at(egress, out_at, Msg::Packet(pkt));
+    }
+
+    fn report(&self, out: &mut Stats) {
+        out.add("up_tlps", self.up_tlps as f64);
+        out.add("down_tlps", self.down_tlps as f64);
+        out.add("proc_stall_ns", self.proc_stall_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accesys_sim::{Kernel, MemCmd, Packet};
+
+    /// Terminal that records arrivals.
+    struct Term {
+        got: Vec<(Tick, u64)>,
+    }
+    impl Module for Term {
+        fn name(&self) -> &str {
+            "term"
+        }
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx) {
+            if let Msg::Packet(p) = msg {
+                self.got.push((ctx.now(), p.addr));
+            }
+        }
+    }
+
+    #[test]
+    fn requests_route_by_bar_and_add_latency() {
+        let mut k = Kernel::new();
+        let up = k.add_module(Box::new(Term { got: vec![] }));
+        let down = k.add_module(Box::new(Term { got: vec![] }));
+        let ep = k.add_module(Box::new(Term { got: vec![] }));
+        let sw = k.add_module(Box::new(
+            PcieSwitch::new("sw", PcieSwitchConfig::default(), up).with_port(SwitchPort {
+                egress_link: down,
+                endpoint: ep,
+                ranges: vec![AddrRange::new(0x1_0000_0000, 0x1000_0000)],
+            }),
+        ));
+        // Device-addressed request goes down; host-addressed goes up.
+        let p1 = Packet::request(0, MemCmd::WriteReq, 0x1_0000_0040, 64, 0);
+        let p2 = Packet::request(1, MemCmd::ReadReq, 0x4000, 64, 0);
+        k.schedule(0, sw, Msg::Packet(p1));
+        k.schedule(0, sw, Msg::Packet(p2));
+        k.run_until_idle().unwrap();
+        let down_got = &k.module::<Term>(down).unwrap().got;
+        let up_got = &k.module::<Term>(up).unwrap().got;
+        assert_eq!(down_got.len(), 1);
+        assert_eq!(up_got.len(), 1);
+        // First TLP: 50 ns; second pipelines tlp_proc_ns = 2 ns behind.
+        assert_eq!(down_got[0].0, units::ns(50.0));
+        assert_eq!(up_got[0].0, units::ns(52.0));
+    }
+
+    #[test]
+    fn responses_follow_route_stack() {
+        let mut k = Kernel::new();
+        let up = k.add_module(Box::new(Term { got: vec![] }));
+        let down = k.add_module(Box::new(Term { got: vec![] }));
+        let ep = k.add_module(Box::new(Term { got: vec![] }));
+        let sw = k.add_module(Box::new(
+            PcieSwitch::new("sw", PcieSwitchConfig::default(), up).with_port(SwitchPort {
+                egress_link: down,
+                endpoint: ep,
+                ranges: vec![],
+            }),
+        ));
+        // A completion whose next hop is the endpoint must leave on the
+        // downstream egress; one for anything else goes upstream.
+        let mut cpl = Packet::request(0, MemCmd::ReadReq, 0, 64, 0).to_response();
+        cpl.route.push(ep);
+        k.schedule(0, sw, Msg::Packet(cpl));
+        let mut cpl2 = Packet::request(1, MemCmd::ReadReq, 0, 64, 0).to_response();
+        cpl2.route.push(up); // some host-side module
+        k.schedule(0, sw, Msg::Packet(cpl2));
+        k.run_until_idle().unwrap();
+        assert_eq!(k.module::<Term>(down).unwrap().got.len(), 1);
+        assert_eq!(k.module::<Term>(up).unwrap().got.len(), 1);
+    }
+
+    #[test]
+    fn tlp_rate_limit_spaces_back_to_back_tlps() {
+        let mut k = Kernel::new();
+        let up = k.add_module(Box::new(Term { got: vec![] }));
+        let cfg = PcieSwitchConfig {
+            latency_ns: 50.0,
+            tlp_proc_ns: 8.0,
+        };
+        let sw = k.add_module(Box::new(PcieSwitch::new("sw", cfg, up)));
+        for i in 0..4 {
+            let p = Packet::request(i, MemCmd::ReadReq, 0x100, 64, 0);
+            k.schedule(0, sw, Msg::Packet(p));
+        }
+        k.run_until_idle().unwrap();
+        let got = &k.module::<Term>(up).unwrap().got;
+        let times: Vec<Tick> = got.iter().map(|&(t, _)| t).collect();
+        assert_eq!(
+            times,
+            vec![
+                units::ns(50.0),
+                units::ns(58.0),
+                units::ns(66.0),
+                units::ns(74.0)
+            ]
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # accesys-mem
+//!
+//! DRAM subsystem models for the Gem5-AcceSys reproduction.
+//!
+//! Two backends are provided, mirroring the paper's setup:
+//!
+//! * [`SimpleMemory`] — gem5's "default DRAM model": a fixed access latency
+//!   plus a bandwidth-limited service pipe. Used for the Fig. 6 bandwidth
+//!   and latency sweeps where the paper varies one knob at a time.
+//! * [`Dram`] — a Ramulator-class timing model with channels, banks, row
+//!   buffers and an FR-FCFS scheduler, configured through [`DramConfig`]
+//!   presets that follow Table III of the paper ([`MemTech`]).
+//!
+//! Both are [`accesys_sim::Module`]s answering `ReadReq`/`WriteReq`
+//! packets with responses routed back over the packet's route stack.
+
+mod dram;
+mod power;
+mod simple;
+mod tech;
+
+pub use dram::{AddressMapping, Dram, DramConfig, DramTiming, PagePolicy};
+pub use power::{DramPower, EnergyBreakdown};
+pub use simple::{SimpleMemory, SimpleMemoryConfig};
+pub use tech::MemTech;

@@ -1,0 +1,257 @@
+//! Log-bucketed latency histograms for per-module distribution stats.
+
+/// A power-of-two-bucketed histogram of non-negative samples.
+///
+/// Buckets cover `[2^i, 2^(i+1))`; bucket 0 additionally holds samples in
+/// `[0, 1)`. Designed for latency distributions where the interesting
+/// questions are "what is the p99?" and "how long is the tail?", not the
+/// exact shape. Observation is O(1) and the footprint is fixed, so every
+/// module can afford one per traffic class.
+///
+/// ```
+/// use accesys_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for ns in [10.0, 12.0, 11.0, 900.0] {
+///     h.observe(ns);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.mean() > 200.0);
+/// // Three of four samples land at or below 16, so p50 is in that bucket.
+/// assert!(h.percentile(50.0) <= 16.0);
+/// assert!(h.percentile(100.0) >= 512.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    buckets: [u64; Self::NUM_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Number of buckets; the top bucket absorbs everything ≥ 2^62.
+    const NUM_BUCKETS: usize = 64;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; Self::NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_of(value: f64) -> usize {
+        if value < 1.0 {
+            return 0;
+        }
+        let exp = value.log2().floor() as usize;
+        exp.min(Self::NUM_BUCKETS - 1)
+    }
+
+    /// Record one sample. Negative samples are clamped to zero.
+    pub fn observe(&mut self, value: f64) {
+        let v = value.max(0.0);
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Upper bound of the bucket containing the `p`-th percentile
+    /// (0 < p ≤ 100), or 0 when empty.
+    ///
+    /// The result is an upper bound, not an interpolation: a return of 16
+    /// means "the p-th sample was < 16". Bucket resolution is a factor of
+    /// two, which is plenty for latency triage.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return (1u64 << (i + 1).min(63)) as f64;
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Append `mean/min/max/p50/p99` under `prefix` to a stats report.
+    pub fn report_into(&self, out: &mut crate::Stats, prefix: &str) {
+        if self.count == 0 {
+            return;
+        }
+        out.set(&format!("{prefix}_mean"), self.mean());
+        out.set(&format!("{prefix}_min"), self.min());
+        out.set(&format!("{prefix}_max"), self.max());
+        out.set(&format!("{prefix}_p50"), self.percentile(50.0));
+        out.set(&format!("{prefix}_p99"), self.percentile(99.0));
+        out.set(&format!("{prefix}_count"), self.count as f64);
+    }
+
+    /// Iterate over non-empty buckets as `(lower_bound, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                (lo, n)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.iter().count(), 0);
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.mean(), 2.5);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 4.0);
+        assert_eq!(h.sum(), 10.0);
+    }
+
+    #[test]
+    fn percentile_is_an_upper_bound() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(10.0); // bucket [8,16)
+        }
+        h.observe(1000.0); // bucket [512,1024)
+        assert_eq!(h.percentile(50.0), 16.0);
+        assert_eq!(h.percentile(99.0), 16.0);
+        assert_eq!(h.percentile(100.0), 1024.0);
+    }
+
+    #[test]
+    fn negative_samples_clamp_to_zero() {
+        let mut h = Histogram::new();
+        h.observe(-5.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn sub_unit_samples_land_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.observe(0.25);
+        h.observe(0.75);
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(buckets, vec![(0.0, 2)]);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        a.observe(4.0);
+        let mut b = Histogram::new();
+        b.observe(100.0);
+        b.observe(1.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 100.0);
+    }
+
+    #[test]
+    fn report_into_emits_summary_keys() {
+        let mut h = Histogram::new();
+        h.observe(8.0);
+        let mut s = crate::Stats::new();
+        h.report_into(&mut s, "lat_ns");
+        assert_eq!(s.get("lat_ns_count"), Some(1.0));
+        assert_eq!(s.get("lat_ns_mean"), Some(8.0));
+        assert!(s.get("lat_ns_p99").is_some());
+    }
+
+    #[test]
+    fn huge_samples_saturate_the_top_bucket() {
+        let mut h = Histogram::new();
+        h.observe(f64::MAX);
+        assert_eq!(h.count(), 1);
+        assert!(h.percentile(100.0) > 0.0);
+    }
+}

@@ -1,0 +1,522 @@
+//! The event kernel: ordered event queue plus the module registry.
+
+use crate::{Module, ModuleId, Msg, Stats, Tick, Tracer};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Error returned by [`Kernel::run_until_idle`] and friends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event budget was exhausted — almost always a livelock or a
+    /// flow-control bug (credits never returned, responses dropped).
+    EventLimitExceeded {
+        /// Budget that was exceeded.
+        limit: u64,
+        /// Simulated time when the run aborted.
+        at: Tick,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::EventLimitExceeded { limit, at } => write!(
+                f,
+                "event limit of {limit} exceeded at tick {at}; \
+                 likely a livelock or flow-control leak"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Bounds on a simulation run.
+#[derive(Copy, Clone, Debug)]
+pub struct RunLimit {
+    /// Maximum number of events to process before aborting.
+    pub max_events: u64,
+    /// Stop (successfully) once simulated time passes this tick.
+    pub max_time: Tick,
+}
+
+impl Default for RunLimit {
+    fn default() -> Self {
+        RunLimit {
+            max_events: 2_000_000_000,
+            max_time: Tick::MAX,
+        }
+    }
+}
+
+struct Ev {
+    when: Tick,
+    seq: u64,
+    dst: ModuleId,
+    msg: Msg,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.when == other.when && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so the BinaryHeap pops the earliest (when, seq) first.
+        (other.when, other.seq).cmp(&(self.when, self.seq))
+    }
+}
+
+/// Per-delivery context handed to [`Module::handle`].
+///
+/// Lets the module read time, learn its own id, allocate packet ids and
+/// schedule outgoing messages. All sends are buffered and committed by the
+/// kernel after the handler returns, preserving deterministic ordering.
+pub struct Ctx<'a> {
+    now: Tick,
+    self_id: ModuleId,
+    out: &'a mut Vec<(Tick, ModuleId, Msg)>,
+    next_pkt_id: &'a mut u64,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Id of the module currently handling a message.
+    pub fn self_id(&self) -> ModuleId {
+        self.self_id
+    }
+
+    /// Allocate a globally unique packet id.
+    pub fn alloc_pkt_id(&mut self) -> u64 {
+        let id = *self.next_pkt_id;
+        *self.next_pkt_id += 1;
+        id
+    }
+
+    /// Deliver `msg` to `dst` after `delay` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is [`ModuleId::INVALID`], which indicates a wiring
+    /// bug in the system builder.
+    pub fn send(&mut self, dst: ModuleId, delay: Tick, msg: Msg) {
+        assert!(dst.is_valid(), "send to unwired port from {}", self.self_id);
+        self.out.push((self.now + delay, dst, msg));
+    }
+
+    /// Deliver `msg` to `dst` at absolute time `at` (clamped to `now`).
+    pub fn send_at(&mut self, dst: ModuleId, at: Tick, msg: Msg) {
+        let at = at.max(self.now);
+        assert!(dst.is_valid(), "send to unwired port from {}", self.self_id);
+        self.out.push((at, dst, msg));
+    }
+
+    /// Schedule a [`Msg::Timer`] to self after `delay` ticks.
+    pub fn timer(&mut self, delay: Tick, tag: u64) {
+        let dst = self.self_id;
+        self.send(dst, delay, Msg::Timer(tag));
+    }
+}
+
+/// The discrete-event simulator: owns all modules and the event queue.
+pub struct Kernel {
+    time: Tick,
+    seq: u64,
+    next_pkt_id: u64,
+    queue: BinaryHeap<Ev>,
+    modules: Vec<Box<dyn Module>>,
+    events_processed: u64,
+    out_buf: Vec<(Tick, ModuleId, Msg)>,
+    tracer: Option<Box<dyn Tracer>>,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel {
+    /// Create an empty kernel at tick 0.
+    pub fn new() -> Self {
+        Kernel {
+            time: 0,
+            seq: 0,
+            next_pkt_id: 0,
+            queue: BinaryHeap::new(),
+            modules: Vec::new(),
+            events_processed: 0,
+            out_buf: Vec::new(),
+            tracer: None,
+        }
+    }
+
+    /// Install an event [`Tracer`] (replacing any previous one).
+    ///
+    /// The tracer observes every delivery until removed. Install *before*
+    /// running; events processed earlier are not replayed.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Remove and return the installed tracer, if any.
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
+    }
+
+    /// Downcast the installed tracer for inspection.
+    pub fn tracer<T: Tracer>(&self) -> Option<&T> {
+        self.tracer.as_ref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// Register a module and return its id.
+    pub fn add_module(&mut self, module: Box<dyn Module>) -> ModuleId {
+        let id = ModuleId::from_index(self.modules.len());
+        self.modules.push(module);
+        id
+    }
+
+    /// Reserve a module slot, returning its id before the module exists.
+    ///
+    /// System builders use this to wire cyclic topologies (A needs B's id
+    /// and vice versa): reserve every id first, then construct the
+    /// modules and install them with [`Kernel::set_module`]. Delivering a
+    /// message to an unfilled placeholder panics.
+    pub fn add_placeholder(&mut self) -> ModuleId {
+        struct Placeholder;
+        impl Module for Placeholder {
+            fn name(&self) -> &str {
+                "placeholder"
+            }
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx) {
+                panic!(
+                    "message delivered to unfilled placeholder module {}",
+                    ctx.self_id()
+                );
+            }
+        }
+        self.add_module(Box::new(Placeholder))
+    }
+
+    /// Install `module` into a slot reserved by [`Kernel::add_placeholder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never allocated.
+    pub fn set_module(&mut self, id: ModuleId, module: Box<dyn Module>) {
+        let slot = self
+            .modules
+            .get_mut(id.index())
+            .unwrap_or_else(|| panic!("set_module on unknown id {id}"));
+        *slot = module;
+    }
+
+    /// Number of registered modules.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Tick {
+        self.time
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedule a message from outside any module (used to kick off runs).
+    pub fn schedule(&mut self, at: Tick, dst: ModuleId, msg: Msg) {
+        assert!(dst.is_valid(), "schedule to invalid module id");
+        assert!(
+            dst.index() < self.modules.len(),
+            "schedule to unknown module {dst}"
+        );
+        let ev = Ev {
+            when: at.max(self.time),
+            seq: self.seq,
+            dst,
+            msg,
+        };
+        self.seq += 1;
+        self.queue.push(ev);
+    }
+
+    /// Run until the event queue drains, with default [`RunLimit`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the event budget runs
+    /// out, which indicates a protocol livelock.
+    pub fn run_until_idle(&mut self) -> Result<Tick, SimError> {
+        self.run(RunLimit::default())
+    }
+
+    /// Run until idle, a time bound, or an event budget — whichever first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if `limit.max_events` is
+    /// exhausted before the queue drains.
+    pub fn run(&mut self, limit: RunLimit) -> Result<Tick, SimError> {
+        let budget_end = self.events_processed + limit.max_events;
+        while let Some(ev) = self.queue.peek() {
+            if ev.when > limit.max_time {
+                break;
+            }
+            if self.events_processed >= budget_end {
+                return Err(SimError::EventLimitExceeded {
+                    limit: limit.max_events,
+                    at: self.time,
+                });
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(ev.when >= self.time, "time went backwards");
+            self.time = ev.when;
+            self.events_processed += 1;
+
+            let mut out = std::mem::take(&mut self.out_buf);
+            {
+                let module = self
+                    .modules
+                    .get_mut(ev.dst.index())
+                    .unwrap_or_else(|| panic!("event for unknown module {}", ev.dst));
+                if let Some(tracer) = self.tracer.as_mut() {
+                    tracer.on_event(ev.when, ev.dst, module.name(), &ev.msg);
+                }
+                let mut ctx = Ctx {
+                    now: self.time,
+                    self_id: ev.dst,
+                    out: &mut out,
+                    next_pkt_id: &mut self.next_pkt_id,
+                };
+                module.handle(ev.msg, &mut ctx);
+            }
+            for (when, dst, msg) in out.drain(..) {
+                assert!(
+                    dst.index() < self.modules.len(),
+                    "message sent to unknown module {dst}"
+                );
+                self.queue.push(Ev {
+                    when,
+                    seq: self.seq,
+                    dst,
+                    msg,
+                });
+                self.seq += 1;
+            }
+            self.out_buf = out;
+        }
+        Ok(self.time)
+    }
+
+    /// Downcast a module by id.
+    pub fn module<T: Module>(&self, id: ModuleId) -> Option<&T> {
+        self.modules.get(id.index())?.as_any().downcast_ref::<T>()
+    }
+
+    /// Downcast a module by id, mutably.
+    pub fn module_mut<T: Module>(&mut self, id: ModuleId) -> Option<&mut T> {
+        self.modules
+            .get_mut(id.index())?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Collect statistics from every module, keys prefixed by module name.
+    pub fn stats(&self) -> Stats {
+        let mut all = Stats::new();
+        for module in &self.modules {
+            let mut local = Stats::new();
+            module.report(&mut local);
+            for (k, v) in local.iter() {
+                all.add(&format!("{}.{}", module.name(), k), *v);
+            }
+        }
+        all.add("kernel.events", self.events_processed as f64);
+        all.add("kernel.final_tick", self.time as f64);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units;
+
+    /// Records the order and time of every timer it receives, and can
+    /// forward pings to a peer.
+    struct Recorder {
+        name: String,
+        peer: ModuleId,
+        log: Vec<(Tick, u64)>,
+    }
+
+    impl Module for Recorder {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx) {
+            match msg {
+                Msg::Timer(tag) => {
+                    self.log.push((ctx.now(), tag));
+                    if tag >= 100 && self.peer.is_valid() {
+                        // Forward a derived ping to the peer 3ns later.
+                        ctx.send(self.peer, units::ns(3.0), Msg::Timer(tag - 100));
+                    }
+                }
+                _ => panic!("unexpected message"),
+            }
+        }
+        fn report(&self, out: &mut Stats) {
+            out.add("timers", self.log.len() as f64);
+        }
+    }
+
+    fn recorder(name: &str, peer: ModuleId) -> Box<Recorder> {
+        Box::new(Recorder {
+            name: name.to_string(),
+            peer,
+            log: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut k = Kernel::new();
+        let a = k.add_module(recorder("a", ModuleId::INVALID));
+        k.schedule(units::ns(10.0), a, Msg::Timer(1));
+        k.schedule(units::ns(5.0), a, Msg::Timer(2));
+        k.schedule(units::ns(7.0), a, Msg::Timer(3));
+        let end = k.run_until_idle().unwrap();
+        assert_eq!(end, units::ns(10.0));
+        let log = &k.module::<Recorder>(a).unwrap().log;
+        assert_eq!(
+            log,
+            &vec![
+                (units::ns(5.0), 2),
+                (units::ns(7.0), 3),
+                (units::ns(10.0), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_schedule_order() {
+        let mut k = Kernel::new();
+        let a = k.add_module(recorder("a", ModuleId::INVALID));
+        for tag in 0..8 {
+            k.schedule(units::ns(4.0), a, Msg::Timer(tag));
+        }
+        k.run_until_idle().unwrap();
+        let tags: Vec<u64> = k
+            .module::<Recorder>(a)
+            .unwrap()
+            .log
+            .iter()
+            .map(|&(_, t)| t)
+            .collect();
+        assert_eq!(tags, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn modules_exchange_messages() {
+        let mut k = Kernel::new();
+        let b = k.add_module(recorder("b", ModuleId::INVALID));
+        let a = k.add_module(recorder("a", b));
+        k.schedule(units::ns(1.0), a, Msg::Timer(107));
+        k.run_until_idle().unwrap();
+        let b_log = &k.module::<Recorder>(b).unwrap().log;
+        assert_eq!(b_log, &vec![(units::ns(4.0), 7)]);
+    }
+
+    #[test]
+    fn event_limit_reports_livelock() {
+        struct Looper;
+        impl Module for Looper {
+            fn name(&self) -> &str {
+                "looper"
+            }
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx) {
+                ctx.timer(1, 0);
+            }
+        }
+        let mut k = Kernel::new();
+        let a = k.add_module(Box::new(Looper));
+        k.schedule(0, a, Msg::Timer(0));
+        let err = k
+            .run(RunLimit {
+                max_events: 1000,
+                max_time: Tick::MAX,
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::EventLimitExceeded { limit: 1000, .. }));
+    }
+
+    #[test]
+    fn max_time_stops_early_without_error() {
+        let mut k = Kernel::new();
+        let a = k.add_module(recorder("a", ModuleId::INVALID));
+        k.schedule(units::ns(5.0), a, Msg::Timer(0));
+        k.schedule(units::ns(500.0), a, Msg::Timer(1));
+        k.run(RunLimit {
+            max_events: u64::MAX,
+            max_time: units::ns(100.0),
+        })
+        .unwrap();
+        assert_eq!(k.module::<Recorder>(a).unwrap().log.len(), 1);
+        // The far-future event is still queued and can be drained later.
+        k.run_until_idle().unwrap();
+        assert_eq!(k.module::<Recorder>(a).unwrap().log.len(), 2);
+    }
+
+    #[test]
+    fn stats_are_prefixed_by_module_name() {
+        let mut k = Kernel::new();
+        let a = k.add_module(recorder("front", ModuleId::INVALID));
+        k.schedule(0, a, Msg::Timer(0));
+        k.run_until_idle().unwrap();
+        let stats = k.stats();
+        assert_eq!(stats.get("front.timers"), Some(1.0));
+        assert_eq!(stats.get("kernel.events"), Some(1.0));
+    }
+
+    #[test]
+    fn packet_ids_are_unique() {
+        struct Alloc {
+            ids: Vec<u64>,
+        }
+        impl Module for Alloc {
+            fn name(&self) -> &str {
+                "alloc"
+            }
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx) {
+                for _ in 0..4 {
+                    self.ids.push(ctx.alloc_pkt_id());
+                }
+            }
+        }
+        let mut k = Kernel::new();
+        let a = k.add_module(Box::new(Alloc { ids: vec![] }));
+        k.schedule(0, a, Msg::Timer(0));
+        k.schedule(1, a, Msg::Timer(0));
+        k.run_until_idle().unwrap();
+        let ids = &k.module::<Alloc>(a).unwrap().ids;
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+}

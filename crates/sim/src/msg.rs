@@ -1,0 +1,111 @@
+//! Messages exchanged between modules.
+
+use crate::Packet;
+use std::any::Any;
+
+/// PCIe flow-control credit class.
+///
+/// Matches the three PCIe virtual-channel credit pools; modules that do not
+/// model PCIe can ignore the distinction.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CreditClass {
+    /// Posted requests (memory writes).
+    Posted,
+    /// Non-posted requests (memory reads).
+    NonPosted,
+    /// Completions.
+    Completion,
+}
+
+impl CreditClass {
+    /// Index into per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            CreditClass::Posted => 0,
+            CreditClass::NonPosted => 1,
+            CreditClass::Completion => 2,
+        }
+    }
+
+    /// All classes, in [`CreditClass::index`] order.
+    pub const ALL: [CreditClass; 3] = [
+        CreditClass::Posted,
+        CreditClass::NonPosted,
+        CreditClass::Completion,
+    ];
+}
+
+/// A message delivered to a [`crate::Module`].
+#[derive(Debug)]
+pub enum Msg {
+    /// A memory transaction or PCIe TLP (the hot path).
+    Packet(Packet),
+    /// Flow-control credit return for `bytes` of buffer space.
+    Credit {
+        /// Credit pool being replenished.
+        class: CreditClass,
+        /// Bytes returned to the pool.
+        bytes: u32,
+    },
+    /// Self-scheduled wakeup carrying an opaque tag.
+    Timer(u64),
+    /// Control-plane message (DMA descriptors, job doorbells, interrupts).
+    ///
+    /// Rare by construction, so the allocation does not affect the hot
+    /// path. Receivers downcast to the concrete type they expect.
+    Custom(Box<dyn Any + Send>),
+}
+
+impl Msg {
+    /// Wrap a control-plane value.
+    pub fn custom<T: Any + Send>(value: T) -> Self {
+        Msg::Custom(Box::new(value))
+    }
+
+    /// Downcast a [`Msg::Custom`] payload, consuming the message.
+    ///
+    /// Returns `Err(self)` unchanged when the message is not `Custom` or
+    /// holds a different type, so callers can keep dispatching.
+    pub fn into_custom<T: Any + Send>(self) -> Result<T, Msg> {
+        match self {
+            Msg::Custom(b) => match b.downcast::<T>() {
+                Ok(v) => Ok(*v),
+                Err(b) => Err(Msg::Custom(b)),
+            },
+            other => Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Doorbell(u32);
+
+    #[test]
+    fn custom_roundtrip() {
+        let msg = Msg::custom(Doorbell(7));
+        match msg.into_custom::<Doorbell>() {
+            Ok(d) => assert_eq!(d, Doorbell(7)),
+            Err(_) => panic!("downcast failed"),
+        }
+    }
+
+    #[test]
+    fn custom_wrong_type_returns_message() {
+        let msg = Msg::custom(Doorbell(7));
+        let back = msg.into_custom::<String>().unwrap_err();
+        assert!(back.into_custom::<Doorbell>().is_ok());
+    }
+
+    #[test]
+    fn credit_class_indices_are_distinct() {
+        let mut seen = [false; 3];
+        for c in CreditClass::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Memory/PCIe packets and the route stack used to steer responses.
+
+use crate::{ModuleId, Tick};
+
+/// Maximum depth of a [`RouteStack`].
+///
+/// The deepest request path in the framework is
+/// `CPU → L1 → LLC → MemBus → RC → Link → Switch → Link → EP → DevMem`,
+/// comfortably below this bound.
+pub const MAX_ROUTE_DEPTH: usize = 12;
+
+/// Memory command carried by a [`Packet`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MemCmd {
+    /// Read request; expects a [`MemCmd::ReadResp`].
+    ReadReq,
+    /// Read response carrying `size` bytes (timing only).
+    ReadResp,
+    /// Write request; expects a [`MemCmd::WriteResp`] unless posted.
+    WriteReq,
+    /// Write acknowledgement.
+    WriteResp,
+    /// Coherence probe asking an upper cache to invalidate a line.
+    SnoopInv,
+    /// Acknowledgement of a [`MemCmd::SnoopInv`] (with writeback if dirty).
+    SnoopInvAck,
+}
+
+impl MemCmd {
+    /// Whether this command is a request (expects a response).
+    pub fn is_request(self) -> bool {
+        matches!(self, MemCmd::ReadReq | MemCmd::WriteReq | MemCmd::SnoopInv)
+    }
+
+    /// Whether this command is a response.
+    pub fn is_response(self) -> bool {
+        !self.is_request()
+    }
+
+    /// The response command paired with this request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a response command.
+    pub fn response(self) -> MemCmd {
+        match self {
+            MemCmd::ReadReq => MemCmd::ReadResp,
+            MemCmd::WriteReq => MemCmd::WriteResp,
+            MemCmd::SnoopInv => MemCmd::SnoopInvAck,
+            other => panic!("{other:?} is not a request command"),
+        }
+    }
+
+    /// Whether a response of this kind carries data on the wire.
+    pub fn carries_data(self) -> bool {
+        matches!(self, MemCmd::ReadResp | MemCmd::WriteReq)
+    }
+}
+
+/// Bounded stack of module ids a request traversed.
+///
+/// Forwarding modules push themselves before sending a request downstream;
+/// responders and intermediate hops pop to find the next hop on the way
+/// back. This mirrors gem5's port pairs without shared references.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct RouteStack {
+    stack: [u32; MAX_ROUTE_DEPTH],
+    len: u8,
+}
+
+impl RouteStack {
+    /// An empty route stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of hops recorded.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no hops are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Record `id` as a hop to revisit on the response path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is full ([`MAX_ROUTE_DEPTH`] hops).
+    pub fn push(&mut self, id: ModuleId) {
+        assert!(
+            (self.len as usize) < MAX_ROUTE_DEPTH,
+            "route stack overflow (depth {MAX_ROUTE_DEPTH})"
+        );
+        self.stack[self.len as usize] = id.index() as u32;
+        self.len += 1;
+    }
+
+    /// Pop the most recent hop, if any.
+    pub fn pop(&mut self) -> Option<ModuleId> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        Some(ModuleId::from_index(self.stack[self.len as usize] as usize))
+    }
+
+    /// Peek at the most recent hop without removing it.
+    pub fn top(&self) -> Option<ModuleId> {
+        if self.len == 0 {
+            return None;
+        }
+        Some(ModuleId::from_index(
+            self.stack[self.len as usize - 1] as usize,
+        ))
+    }
+}
+
+/// A timing packet: one memory transaction or one PCIe TLP.
+///
+/// Packets model *timing only*; functional data lives at the endpoints
+/// (e.g. the accelerator's functional GEMM backend), which keeps the hot
+/// path allocation-free.
+#[derive(Copy, Clone, Debug)]
+pub struct Packet {
+    /// Unique id (allocated via [`crate::Ctx::alloc_pkt_id`]).
+    pub id: u64,
+    /// Command.
+    pub cmd: MemCmd,
+    /// Target address. Virtual if [`Packet::virt`] is set.
+    pub addr: u64,
+    /// Transfer size in bytes.
+    pub size: u32,
+    /// Address is in the accelerator's virtual space and needs SMMU
+    /// translation before touching host memory.
+    pub virt: bool,
+    /// Traffic class used for accounting (DMA channel, CPU, page-table
+    /// walker, ...). Interpreted by the issuing subsystem.
+    pub stream: u16,
+    /// Requester-side transaction tag (PCIe tag / MSHR id).
+    pub tag: u32,
+    /// Tick at which the original request was issued.
+    pub issued_at: Tick,
+    /// Response routing state.
+    pub route: RouteStack,
+    /// The link that delivered this packet to the current module, so the
+    /// receiver can return flow-control credits. [`crate::ModuleId::INVALID`]
+    /// when the packet did not arrive over a credited link.
+    pub ingress_link: ModuleId,
+}
+
+impl Packet {
+    /// Create a request packet. `virt` defaults to `false`; adjust fields
+    /// after construction for less common cases.
+    pub fn request(id: u64, cmd: MemCmd, addr: u64, size: u32, now: Tick) -> Self {
+        debug_assert!(cmd.is_request(), "{cmd:?} is not a request");
+        Packet {
+            id,
+            cmd,
+            addr,
+            size,
+            virt: false,
+            stream: 0,
+            tag: 0,
+            issued_at: now,
+            route: RouteStack::new(),
+            ingress_link: ModuleId::INVALID,
+        }
+    }
+
+    /// Turn this request into its response in place, preserving id, tag,
+    /// stream, size and route so the reply retraces the request path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet is already a response.
+    pub fn make_response(&mut self) {
+        self.cmd = self.cmd.response();
+    }
+
+    /// Convenience: a copy of this request converted to a response.
+    pub fn to_response(&self) -> Packet {
+        let mut p = *self;
+        p.make_response();
+        p
+    }
+
+    /// Number of bytes this packet occupies on a PCIe link, given a
+    /// per-TLP header overhead. Read requests carry no payload.
+    pub fn wire_bytes(&self, header_bytes: u32) -> u32 {
+        if self.cmd.carries_data() {
+            header_bytes + self.size
+        } else {
+            header_bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_stack_push_pop_is_lifo() {
+        let mut r = RouteStack::new();
+        assert!(r.is_empty());
+        r.push(ModuleId::from_index(3));
+        r.push(ModuleId::from_index(7));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.top(), Some(ModuleId::from_index(7)));
+        assert_eq!(r.pop(), Some(ModuleId::from_index(7)));
+        assert_eq!(r.pop(), Some(ModuleId::from_index(3)));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "route stack overflow")]
+    fn route_stack_overflow_panics() {
+        let mut r = RouteStack::new();
+        for i in 0..=MAX_ROUTE_DEPTH {
+            r.push(ModuleId::from_index(i));
+        }
+    }
+
+    #[test]
+    fn response_pairs() {
+        assert_eq!(MemCmd::ReadReq.response(), MemCmd::ReadResp);
+        assert_eq!(MemCmd::WriteReq.response(), MemCmd::WriteResp);
+        assert_eq!(MemCmd::SnoopInv.response(), MemCmd::SnoopInvAck);
+        assert!(MemCmd::ReadReq.is_request());
+        assert!(MemCmd::ReadResp.is_response());
+    }
+
+    #[test]
+    fn make_response_preserves_identity() {
+        let mut p = Packet::request(9, MemCmd::ReadReq, 0x1000, 64, 5);
+        p.tag = 42;
+        p.stream = 3;
+        p.route.push(ModuleId::from_index(1));
+        p.make_response();
+        assert_eq!(p.cmd, MemCmd::ReadResp);
+        assert_eq!(p.id, 9);
+        assert_eq!(p.tag, 42);
+        assert_eq!(p.stream, 3);
+        assert_eq!(p.route.len(), 1);
+    }
+
+    #[test]
+    fn wire_bytes_depends_on_payload() {
+        let read = Packet::request(0, MemCmd::ReadReq, 0, 256, 0);
+        assert_eq!(read.wire_bytes(24), 24);
+        let write = Packet::request(1, MemCmd::WriteReq, 0, 256, 0);
+        assert_eq!(write.wire_bytes(24), 280);
+        let cpl = read.to_response();
+        assert_eq!(cpl.wire_bytes(24), 280);
+    }
+}

@@ -1,0 +1,117 @@
+//! Time and bandwidth unit helpers.
+//!
+//! The kernel counts [`Tick`]s of one picosecond. These helpers convert
+//! between human units (ns, GHz, GB/s, Gb/s) and ticks, rounding up where a
+//! duration must not be shortened by truncation.
+
+use crate::Tick;
+
+/// Ticks per nanosecond.
+pub const TICKS_PER_NS: Tick = 1_000;
+/// Ticks per microsecond.
+pub const TICKS_PER_US: Tick = 1_000_000;
+/// Ticks per millisecond.
+pub const TICKS_PER_MS: Tick = 1_000_000_000;
+
+/// Convert nanoseconds to ticks (rounding to nearest tick).
+///
+/// ```
+/// assert_eq!(accesys_sim::units::ns(1.5), 1_500);
+/// ```
+pub fn ns(value: f64) -> Tick {
+    debug_assert!(value >= 0.0, "negative duration");
+    (value * TICKS_PER_NS as f64).round() as Tick
+}
+
+/// Convert microseconds to ticks.
+pub fn us(value: f64) -> Tick {
+    ns(value * 1_000.0)
+}
+
+/// Convert ticks to nanoseconds as `f64`.
+pub fn to_ns(ticks: Tick) -> f64 {
+    ticks as f64 / TICKS_PER_NS as f64
+}
+
+/// Convert ticks to microseconds as `f64`.
+pub fn to_us(ticks: Tick) -> f64 {
+    ticks as f64 / TICKS_PER_US as f64
+}
+
+/// Convert ticks to milliseconds as `f64`.
+pub fn to_ms(ticks: Tick) -> f64 {
+    ticks as f64 / TICKS_PER_MS as f64
+}
+
+/// Clock period in ticks for a frequency in GHz.
+///
+/// ```
+/// assert_eq!(accesys_sim::units::clock_period_ghz(1.0), 1_000);
+/// assert_eq!(accesys_sim::units::clock_period_ghz(2.0), 500);
+/// ```
+pub fn clock_period_ghz(freq_ghz: f64) -> Tick {
+    debug_assert!(freq_ghz > 0.0, "non-positive frequency");
+    (1_000.0 / freq_ghz).round() as Tick
+}
+
+/// Time to move `bytes` at `gib_per_s` gigabytes per second (decimal GB),
+/// rounded **up** so bandwidth is never overestimated.
+///
+/// ```
+/// // 8 bytes at 8 GB/s take 1 ns.
+/// assert_eq!(accesys_sim::units::transfer_time(8, 8.0), 1_000);
+/// ```
+pub fn transfer_time(bytes: u64, gb_per_s: f64) -> Tick {
+    debug_assert!(gb_per_s > 0.0, "non-positive bandwidth");
+    // bytes / (GB/s) = ns * bytes/GB ... work in ps: ps = bytes * 1000 / GBps
+    let ps = (bytes as f64) * 1_000.0 / gb_per_s;
+    ps.ceil() as Tick
+}
+
+/// Effective bytes-per-second of a multi-lane serial link.
+///
+/// `lane_gbps` is the raw line rate per lane in Gb/s; `encoding_efficiency`
+/// captures 8b/10b (0.8) or 128b/130b (≈0.9846) framing.
+pub fn link_gb_per_s(lanes: u32, lane_gbps: f64, encoding_efficiency: f64) -> f64 {
+    debug_assert!(lanes > 0);
+    lanes as f64 * lane_gbps * encoding_efficiency / 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(ns(2.0), 2_000);
+        assert_eq!(us(1.0), 1_000_000);
+        assert!((to_ns(2_500) - 2.5).abs() < 1e-12);
+        assert!((to_us(2_500_000) - 2.5).abs() < 1e-12);
+        assert!((to_ms(2_500_000_000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 1 byte at 3 GB/s = 333.33.. ps -> 334.
+        assert_eq!(transfer_time(1, 3.0), 334);
+        assert_eq!(transfer_time(0, 3.0), 0);
+        // 4096 bytes at 16 GB/s = 256 ns exactly.
+        assert_eq!(transfer_time(4096, 16.0), ns(256.0));
+    }
+
+    #[test]
+    fn pcie_gen2_x4_bandwidth() {
+        // PCIe 2.0: 5 Gb/s per lane, 8b/10b encoding -> 0.5 GB/s per lane.
+        let bw = link_gb_per_s(4, 5.0, 0.8);
+        assert!((bw - 2.0).abs() < 1e-12);
+        // PCIe 4.0 x16: 16 Gb/s, 128/130.
+        let bw = link_gb_per_s(16, 16.0, 128.0 / 130.0);
+        assert!((bw - 31.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn clock_periods() {
+        assert_eq!(clock_period_ghz(0.5), 2_000);
+        assert_eq!(clock_period_ghz(4.0), 250);
+    }
+}

@@ -1,0 +1,15 @@
+//! # accesys-smmu
+//!
+//! The System MMU the paper adds between the MemBus and the PCIe root
+//! complex: accelerator DMA carries *virtual* addresses; the SMMU
+//! translates them through a micro-TLB backed by a multi-level page-table
+//! walker whose walks are real memory reads on the host fabric.
+//!
+//! The module records every statistic of the paper's Table IV:
+//! translation count and mean latency, page-table-walk count and mean
+//! latency, µTLB lookups and misses — which the framework turns into the
+//! translation-overhead percentages of the address-translation study.
+
+mod smmu;
+
+pub use smmu::{Smmu, SmmuConfig, SmmuStats};

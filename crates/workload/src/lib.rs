@@ -1,0 +1,20 @@
+//! # accesys-workload
+//!
+//! Workload generators for the Gem5-AcceSys reproduction:
+//!
+//! * [`GemmSpec`] — the general matrix-multiplication kernels the paper
+//!   sweeps (Figs. 2–6, Table IV), with reproducible operand generation
+//!   and the Table IV memory-footprint arithmetic (3·n²·4 bytes).
+//! * [`VitModel`] / [`vit_ops`] — Vision Transformer inference graphs
+//!   (base / large / huge: hidden 768/1024/1280, 12/16 heads) decomposed
+//!   into GEMM operators (offloaded to the accelerator) and Non-GEMM
+//!   operators (LayerNorm, Softmax, GELU, residual — run on the CPU),
+//!   the split behind the paper's Figs. 7–9.
+
+mod bert;
+mod gemm;
+mod vit;
+
+pub use bert::{bert_embed_ops, bert_ops, BertModel};
+pub use gemm::GemmSpec;
+pub use vit::{vit_embed_ops, vit_full_ops, vit_head_ops, vit_ops, Op, OpKind, VitModel};

@@ -1,0 +1,39 @@
+//! Design-space exploration: the kind of study the framework exists for.
+//! Sweeps PCIe bandwidth × memory technology × memory location for a
+//! fixed GEMM and prints the grid, so a system architect can pick the
+//! cheapest configuration that meets a latency target (the paper's
+//! "balanced approach to performance and cost").
+//!
+//! Run with `cargo run --release --example design_space_exploration`.
+
+use gem5_accesys::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = GemmSpec::square(256);
+    let bandwidths = [2.0, 8.0, 32.0];
+    let techs = [MemTech::Ddr4, MemTech::Gddr6, MemTech::Hbm2];
+
+    println!("GEMM {spec}: execution time in us\n");
+    print!("{:>22}", "config");
+    for bw in bandwidths {
+        print!("{:>14}", format!("PCIe {bw} GB/s"));
+    }
+    println!("{:>14}", "DevMem");
+
+    for tech in techs {
+        print!("{:>22}", format!("host/device {tech}"));
+        for bw in bandwidths {
+            let mut sim = Simulation::new(SystemConfig::pcie_host(bw, tech))?;
+            let t = sim.run_gemm(spec)?.total_time_ns() / 1000.0;
+            print!("{t:>14.1}");
+        }
+        let mut sim = Simulation::new(SystemConfig::devmem(tech))?;
+        let t = sim.run_gemm(spec)?.total_time_ns() / 1000.0;
+        println!("{t:>14.1}");
+    }
+
+    println!();
+    println!("reading: host-side memory with a fast link closes most of the");
+    println!("gap to device-side memory for GEMM-like streaming workloads.");
+    Ok(())
+}

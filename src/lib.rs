@@ -1,0 +1,38 @@
+//! # gem5-accesys
+//!
+//! Facade crate for the Gem5-AcceSys reproduction. Re-exports the
+//! [`accesys`] framework crate and each subsystem crate so the repository
+//! root can host integration tests and runnable examples.
+//!
+//! Start with [`accesys::SystemConfig`] and [`accesys::Simulation`]:
+//!
+//! ```
+//! use gem5_accesys::prelude::*;
+//!
+//! # fn main() -> Result<(), accesys::Error> {
+//! let config = SystemConfig::paper_baseline();
+//! let report = Simulation::new(config)?.run_gemm(GemmSpec::square(64))?;
+//! assert!(report.total_time_ns() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use accesys;
+pub use accesys_accel as accel;
+pub use accesys_cache as cache;
+pub use accesys_cpu as cpu;
+pub use accesys_dma as dma;
+pub use accesys_interconnect as interconnect;
+pub use accesys_mem as mem;
+pub use accesys_sim as sim;
+pub use accesys_smmu as smmu;
+pub use accesys_workload as workload;
+
+/// Commonly used types for examples and tests.
+pub mod prelude {
+    pub use accesys::{
+        AccessMode, Error, MemoryLocation, RunReport, Simulation, SystemConfig,
+    };
+    pub use accesys_mem::MemTech;
+    pub use accesys_workload::{GemmSpec, VitModel};
+}

@@ -1,0 +1,157 @@
+//! Integration tests for the framework extensions: CXL attachment,
+//! accelerator clusters, DRAM energy/refresh/policies, packet tracing
+//! and link error injection — all through the public API.
+
+use accesys::{InterconnectKind, Simulation, SystemConfig};
+use accesys_mem::{AddressMapping, MemTech, PagePolicy};
+use accesys_sim::PacketTrace;
+use accesys_workload::GemmSpec;
+
+#[test]
+fn cxl_and_pcie_topologies_agree_functionally() {
+    let spec = GemmSpec::square(48);
+    let (_, ok_pcie) = Simulation::new(SystemConfig::paper_baseline())
+        .unwrap()
+        .run_gemm_verified(spec)
+        .unwrap();
+    let (_, ok_cxl) = Simulation::new(SystemConfig::cxl_host(8, MemTech::Ddr4))
+        .unwrap()
+        .run_gemm_verified(spec)
+        .unwrap();
+    assert!(ok_pcie && ok_cxl);
+}
+
+#[test]
+fn cxl_moves_no_pcie_tlps() {
+    let mut sim = Simulation::new(SystemConfig::cxl_host(8, MemTech::Ddr4)).unwrap();
+    assert_eq!(sim.config().interconnect, InterconnectKind::Cxl);
+    let report = sim.run_gemm(GemmSpec::square(64)).unwrap();
+    assert!(report.stats.get_or_zero("cxl.up.flits") > 0.0);
+    assert!(report.stats.get_or_zero("cxl.down.flits") > 0.0);
+    assert_eq!(report.stats.sum_prefix("link."), 0.0);
+    assert_eq!(report.stats.sum_prefix("pcie.switch."), 0.0);
+}
+
+#[test]
+fn sharded_cluster_produces_every_shard_once() {
+    let cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4).with_accel_count(3);
+    let mut sim = Simulation::new(cfg).unwrap();
+    // 200 rows over 3 members: shards of 67/67/66.
+    let report = sim
+        .run_gemm_sharded(GemmSpec::new(200, 128, 128))
+        .unwrap();
+    assert_eq!(report.jobs.len(), 3);
+    let stored: u64 = report.jobs.iter().map(|j| j.bytes_stored).sum();
+    assert_eq!(stored, 200 * 128 * 4);
+    // Three distinct doorbells were rung.
+    assert_eq!(report.stats.get_or_zero("cpu.jobs_launched"), 3.0);
+    assert_eq!(report.stats.get_or_zero("cpu.irqs"), 3.0);
+}
+
+#[test]
+fn cluster_members_share_the_switch_uplink() {
+    let cfg = SystemConfig::pcie_host(8.0, MemTech::Ddr4).with_accel_count(2);
+    let mut sim = Simulation::new(cfg).unwrap();
+    let report = sim.run_gemm_sharded(GemmSpec::square(128)).unwrap();
+    // Each member has its own downstream link; the upstream is shared.
+    assert!(report.stats.get_or_zero("link.ep_up0.tlps") > 0.0);
+    assert!(report.stats.get_or_zero("link.ep_up1.tlps") > 0.0);
+    let up = report.stats.get_or_zero("link.sw_up.tlps");
+    let down0 = report.stats.get_or_zero("link.ep_up0.tlps");
+    let down1 = report.stats.get_or_zero("link.ep_up1.tlps");
+    assert_eq!(up, down0 + down1);
+}
+
+#[test]
+fn dram_energy_appears_in_gemm_reports() {
+    let mut sim = Simulation::new(SystemConfig::pcie_host(8.0, MemTech::Ddr4)).unwrap();
+    let report = sim.run_gemm(GemmSpec::square(128)).unwrap();
+    assert!(report.host_mem_energy_nj() > 0.0);
+    assert_eq!(report.dev_mem_energy_nj(), 0.0);
+    assert!(report.dram_pj_per_byte() > 0.0);
+    // Refresh fired at least once over a >7.8 µs run.
+    if report.total_time_ns() > 10_000.0 {
+        assert!(report.stats.get_or_zero("host_mem.refreshes") > 0.0);
+    }
+}
+
+#[test]
+fn hbm_system_consumes_less_dram_energy_than_ddr3() {
+    let energy = |tech: MemTech| {
+        let mut sim = Simulation::new(SystemConfig::pcie_host(16.0, tech)).unwrap();
+        sim.run_gemm(GemmSpec::square(128))
+            .unwrap()
+            .host_mem_energy_nj()
+    };
+    assert!(energy(MemTech::Hbm2) < energy(MemTech::Ddr3));
+}
+
+#[test]
+fn packet_trace_sees_the_doorbell_first() {
+    let mut sim = Simulation::new(SystemConfig::paper_baseline()).unwrap();
+    sim.kernel_mut()
+        .set_tracer(Box::new(PacketTrace::new(4096).with_filter("pcie.ep")));
+    sim.run_gemm(GemmSpec::square(32)).unwrap();
+    let trace = sim.kernel().tracer::<PacketTrace>().unwrap();
+    let rows = trace.rows();
+    assert!(!rows.is_empty());
+    // The first EP delivery is the doorbell MMIO write at the BAR base.
+    assert_eq!(rows[0].addr, 0x10_0000_0000);
+    assert!(rows.iter().all(|r| r.module.starts_with("pcie.ep")));
+    // Times never go backwards.
+    for pair in rows.windows(2) {
+        assert!(pair[1].time_ns >= pair[0].time_ns);
+    }
+}
+
+#[test]
+fn link_errors_slow_but_do_not_break_a_run() {
+    let spec = GemmSpec::square(96);
+    let clean = {
+        let mut sim = Simulation::new(SystemConfig::pcie_host(4.0, MemTech::Ddr4)).unwrap();
+        sim.run_gemm(spec).unwrap()
+    };
+    let noisy = {
+        let mut cfg = SystemConfig::pcie_host(4.0, MemTech::Ddr4);
+        cfg.pcie.link.error_rate = 0.05;
+        cfg.pcie.link.replay_ns = 300.0;
+        let mut sim = Simulation::new(cfg).unwrap();
+        sim.run_gemm(spec).unwrap()
+    };
+    assert_eq!(noisy.jobs.len(), 1, "replays must stay invisible to software");
+    assert!(noisy.stats.sum_prefix("link.") > 0.0);
+    let replays: f64 = ["link.rc_down", "link.sw_down0", "link.ep_up0", "link.sw_up"]
+        .iter()
+        .map(|l| noisy.stats.get_or_zero(&format!("{l}.replayed_tlps")))
+        .sum();
+    assert!(replays > 0.0, "no replays at 5% error rate");
+    assert!(noisy.total_time_ns() > clean.total_time_ns());
+}
+
+#[test]
+fn page_policy_and_mapping_are_reachable_through_the_public_api() {
+    // Build a system, swap in an ablated DRAM controller, and check the
+    // policy takes effect end to end.
+    let mut dram = MemTech::Ddr4.dram_config();
+    dram.page_policy = PagePolicy::Closed;
+    dram.mapping = AddressMapping::LineChannelLineBank;
+    let mut sim = Simulation::new(SystemConfig::pcie_host(8.0, MemTech::Ddr4)).unwrap();
+    let (_, _, host_mem, ..) = sim.debug_handles();
+    sim.kernel_mut()
+        .set_module(host_mem, Box::new(accesys_mem::Dram::new("host_mem", dram)));
+    let report = sim.run_gemm(GemmSpec::square(64)).unwrap();
+    assert_eq!(report.stats.get_or_zero("host_mem.row_hits"), 0.0);
+    assert!(report.stats.get_or_zero("host_mem.row_misses") > 0.0);
+}
+
+#[test]
+fn full_vit_runs_end_to_end_on_a_tiny_budget() {
+    // The full-graph API on ViT-Base would take minutes; exercise the
+    // embed → layers → head plumbing shape via a single layer + the
+    // full-graph op list instead.
+    let ops = accesys_workload::vit_full_ops(accesys_workload::VitModel::Base);
+    assert_eq!(ops.len(), 2 + 12 * 12 + 2);
+    let mut sim = Simulation::new(SystemConfig::pcie_host(8.0, MemTech::Ddr4)).unwrap();
+    let layer = sim.run_vit_layer(accesys_workload::VitModel::Base).unwrap();
+    assert!(layer.gemm_ns() > 0.0 && layer.non_gemm_ns() > 0.0);
+}
