@@ -153,14 +153,12 @@ impl Run {
     /// Rows of super-block `bi` (last block may be partial).
     fn block_rows(&self, bi: u64, cfg_rows: u32) -> u32 {
         let start = bi * u64::from(cfg_rows);
-        (u64::from(self.job.m) - start.min(u64::from(self.job.m)))
-            .min(u64::from(cfg_rows)) as u32
+        (u64::from(self.job.m) - start.min(u64::from(self.job.m))).min(u64::from(cfg_rows)) as u32
     }
 
     fn block_cols(&self, bj: u64, cfg_cols: u32) -> u32 {
         let start = bj * u64::from(cfg_cols);
-        (u64::from(self.job.n) - start.min(u64::from(self.job.n)))
-            .min(u64::from(cfg_cols)) as u32
+        (u64::from(self.job.n) - start.min(u64::from(self.job.n))).min(u64::from(cfg_cols)) as u32
     }
 
     fn chunk_k(&self, kci: u64) -> u32 {
@@ -283,7 +281,15 @@ impl AccelController {
         ctx.timer(units::ns(self.cfg.start_latency_ns), TAG_START);
     }
 
-    fn send_dma(&mut self, channel: u32, addr: u64, bytes: u64, write: bool, cookie: u64, ctx: &mut Ctx) {
+    fn send_dma(
+        &mut self,
+        channel: u32,
+        addr: u64,
+        bytes: u64,
+        write: bool,
+        cookie: u64,
+        ctx: &mut Ctx,
+    ) {
         let run = self.run.as_ref().expect("DMA issued without a run");
         let desc = DmaDescriptor {
             channel,
@@ -317,14 +323,10 @@ impl AccelController {
             let b_bytes = u64::from(ck) * u64::from(cols) * d;
             // Pre-tiled panel layout: panels are stored contiguously in
             // load order (the MatrixFlow "optimized data structure").
-            let a_off = (bi * run.nkc + kci)
-                * u64::from(self.cfg.block_rows)
-                * u64::from(run.kc)
-                * d;
-            let b_off = (bj * run.nkc + kci)
-                * u64::from(run.kc)
-                * u64::from(self.cfg.block_cols)
-                * d;
+            let a_off =
+                (bi * run.nkc + kci) * u64::from(self.cfg.block_rows) * u64::from(run.kc) * d;
+            let b_off =
+                (bj * run.nkc + kci) * u64::from(run.kc) * u64::from(self.cfg.block_cols) * d;
             run.slots[(q % DEPTH as u64) as usize] = Slot {
                 q,
                 a_done: false,
@@ -662,8 +664,10 @@ mod tests {
         let compute_ns = rec.compute_busy_ns;
         let total_ns = rec.duration_ns();
         let load_ns = rec.bytes_loaded as f64 / 4.0; // 4 GB/s in ns
-        assert!(total_ns < compute_ns + 0.35 * load_ns,
-            "loads not hidden: total {total_ns} compute {compute_ns} loads {load_ns}");
+        assert!(
+            total_ns < compute_ns + 0.35 * load_ns,
+            "loads not hidden: total {total_ns} compute {compute_ns} loads {load_ns}"
+        );
         assert!(total_ns >= compute_ns, "faster than the array allows");
     }
 
@@ -718,7 +722,11 @@ mod tests {
         );
         ring_doorbell(&mut r);
         r.kernel.run_until_idle().unwrap();
-        let recs = r.kernel.module::<AccelController>(r.ctrl).unwrap().records();
+        let recs = r
+            .kernel
+            .module::<AccelController>(r.ctrl)
+            .unwrap()
+            .records();
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].cookie, 0);
         assert_eq!(recs[1].cookie, 1);

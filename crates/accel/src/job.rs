@@ -96,8 +96,9 @@ impl GemmOperands {
             for j in 0..self.n {
                 let mut acc = 0i32;
                 for kk in 0..self.k {
-                    acc = acc
-                        .wrapping_add(self.a[i * self.k + kk].wrapping_mul(self.b[kk * self.n + j]));
+                    acc = acc.wrapping_add(
+                        self.a[i * self.k + kk].wrapping_mul(self.b[kk * self.n + j]),
+                    );
                 }
                 c[i * self.n + j] = acc;
             }

@@ -7,7 +7,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn run(cfg: SystemConfig) -> f64 {
     let mut sim = Simulation::new(cfg).expect("valid");
-    sim.run_gemm(GemmSpec::square(128)).expect("runs").total_time_ns()
+    sim.run_gemm(GemmSpec::square(128))
+        .expect("runs")
+        .total_time_ns()
 }
 
 fn bench(c: &mut Criterion) {

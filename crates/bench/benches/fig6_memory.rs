@@ -6,11 +6,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6_memory");
     g.sample_size(10);
     for bw in [8.0, 50.0, 256.0] {
-        g.bench_with_input(
-            BenchmarkId::new("bandwidth", bw as u64),
-            &bw,
-            |b, &bw| b.iter(|| accesys_bench::fig6::measure(bw, 18.0, 128)),
-        );
+        g.bench_with_input(BenchmarkId::new("bandwidth", bw as u64), &bw, |b, &bw| {
+            b.iter(|| accesys_bench::fig6::measure(bw, 18.0, 128))
+        });
     }
     for lat in [1.0, 36.0] {
         g.bench_with_input(BenchmarkId::new("latency", lat as u64), &lat, |b, &lat| {

@@ -6,8 +6,14 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let model = ThresholdModel {
-        pcie: PhaseTimes { gemm_ns: 59228.0, non_gemm_ns: 5915.0 },
-        devmem: PhaseTimes { gemm_ns: 6705.0, non_gemm_ns: 22119.0 },
+        pcie: PhaseTimes {
+            gemm_ns: 59228.0,
+            non_gemm_ns: 5915.0,
+        },
+        devmem: PhaseTimes {
+            gemm_ns: 6705.0,
+            non_gemm_ns: 22119.0,
+        },
         t_other_ns: 100.0,
     };
     c.bench_function("fig9_threshold_sweep", |b| {

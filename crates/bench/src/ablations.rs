@@ -136,7 +136,10 @@ mod tests {
         let a = tlb_entries(128);
         let first = a.points.first().unwrap().1;
         let last = a.points.last().unwrap().1;
-        assert!(last <= first * 1.02, "TLB growth regressed: {first} -> {last}");
+        assert!(
+            last <= first * 1.02,
+            "TLB growth regressed: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -153,6 +156,9 @@ mod tests {
         let off = a.points[0].1;
         let on = a.points[1].1;
         // GEMM data is not CPU-shared, so the probe overhead is tiny.
-        assert!(on <= off * 1.05, "coherence overhead too high: {off} -> {on}");
+        assert!(
+            on <= off * 1.05,
+            "coherence overhead too high: {off} -> {on}"
+        );
     }
 }

@@ -5,27 +5,47 @@ use accesys_mem::MemTech;
 use accesys_workload::GemmSpec;
 
 fn main() {
+    let mut failures = 0u32;
     for bw in [4.0, 8.0, 16.0, 32.0, 64.0] {
         for pkt in [64u32, 128, 256, 512, 1024, 2048, 4096] {
             let cfg = SystemConfig::pcie_host(bw, MemTech::Ddr4).with_request_bytes(pkt);
             let mut sim = Simulation::new(cfg).expect("valid config");
             match sim.run_gemm(GemmSpec::square(256)) {
-                Ok(r) => println!("bw={bw:>4} pkt={pkt:>5}  t={:>10.1} us", r.total_time_ns() / 1000.0),
+                Ok(r) => println!(
+                    "bw={bw:>4} pkt={pkt:>5}  t={:>10.1} us",
+                    r.total_time_ns() / 1000.0
+                ),
                 Err(e) => {
+                    failures += 1;
                     println!("bw={bw:>4} pkt={pkt:>5}  FAILED: {e}");
                     let stats = sim.stats();
                     for key in [
-                        "accel0.jobs_done", "dma0.descriptors", "dma0.requests",
-                        "pcie.ep0.reads_sent", "pcie.ep0.completions", "pcie.ep0.tag_stalls",
-                        "link.ep_up0.credit_stall_tlps", "link.sw_down0.credit_stall_tlps",
-                        "link.rc_down.credit_stall_tlps", "link.sw_up.credit_stall_tlps",
-                        "link.rc_down.tlps", "link.sw_down0.tlps",
-                        "smmu.ptw_count", "host_mem.reads", "kernel.events",
+                        "accel0.jobs_done",
+                        "dma0.descriptors",
+                        "dma0.requests",
+                        "pcie.ep0.reads_sent",
+                        "pcie.ep0.completions",
+                        "pcie.ep0.tag_stalls",
+                        "link.ep_up0.credit_stall_tlps",
+                        "link.sw_down0.credit_stall_tlps",
+                        "link.rc_down.credit_stall_tlps",
+                        "link.sw_up.credit_stall_tlps",
+                        "link.rc_down.tlps",
+                        "link.sw_down0.tlps",
+                        "smmu.ptw_count",
+                        "host_mem.reads",
+                        "kernel.events",
                     ] {
                         println!("    {key:<36} {}", stats.get_or_zero(key));
                     }
                 }
             }
         }
+    }
+    // CI uses this bin as a smoke gate: a failing configuration must fail
+    // the run, not just print a diagnostic.
+    if failures > 0 {
+        eprintln!("probe: {failures} configuration(s) failed");
+        std::process::exit(1);
     }
 }

@@ -33,20 +33,26 @@ pub fn matrix_size(scale: Scale) -> u32 {
 /// Run the per-technology energy sweep.
 pub fn run(scale: Scale) -> Vec<EnergyRow> {
     let matrix = matrix_size(scale);
-    [MemTech::Ddr3, MemTech::Ddr4, MemTech::Ddr5, MemTech::Gddr6, MemTech::Hbm2, MemTech::Lpddr5]
-        .iter()
-        .map(|&tech| {
-            let mut sim =
-                Simulation::new(SystemConfig::pcie_host(16.0, tech)).expect("valid config");
-            let report = sim.run_gemm(GemmSpec::square(matrix)).expect("completes");
-            EnergyRow {
-                tech,
-                time_ns: report.total_time_ns(),
-                energy_nj: report.host_mem_energy_nj(),
-                pj_per_byte: report.dram_pj_per_byte(),
-            }
-        })
-        .collect()
+    [
+        MemTech::Ddr3,
+        MemTech::Ddr4,
+        MemTech::Ddr5,
+        MemTech::Gddr6,
+        MemTech::Hbm2,
+        MemTech::Lpddr5,
+    ]
+    .iter()
+    .map(|&tech| {
+        let mut sim = Simulation::new(SystemConfig::pcie_host(16.0, tech)).expect("valid config");
+        let report = sim.run_gemm(GemmSpec::square(matrix)).expect("completes");
+        EnergyRow {
+            tech,
+            time_ns: report.total_time_ns(),
+            energy_nj: report.host_mem_energy_nj(),
+            pj_per_byte: report.dram_pj_per_byte(),
+        }
+    })
+    .collect()
 }
 
 /// One page-policy × address-mapping ablation cell.

@@ -27,7 +27,10 @@ pub fn measure(compute_ns: f64, matrix: u32) -> RooflinePoint {
         .run_gemm(GemmSpec::square(matrix))
         .expect("gemm completes")
         .total_time_ns();
-    RooflinePoint { compute_ns, exec_ns }
+    RooflinePoint {
+        compute_ns,
+        exec_ns,
+    }
 }
 
 /// Run the sweep.
@@ -47,7 +50,10 @@ pub fn run_and_print(scale: Scale) -> Vec<RooflinePoint> {
         "# Fig 2: roofline, matrix {}, PCIe 8 GB/s",
         matrix_size(scale)
     );
-    println!("{:>14} {:>14} {:>12}", "compute(ns)", "exec(us)", "normalized");
+    println!(
+        "{:>14} {:>14} {:>12}",
+        "compute(ns)", "exec(us)", "normalized"
+    );
     for p in &points {
         println!(
             "{:>14.0} {:>14.1} {:>12.3}",

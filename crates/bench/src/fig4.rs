@@ -57,8 +57,8 @@ pub fn matrix_size(scale: Scale) -> u32 {
 
 /// Measure one point.
 pub fn measure(bandwidth_gbps: f64, packet_bytes: u32, matrix: u32) -> f64 {
-    let cfg = SystemConfig::pcie_host(bandwidth_gbps, MemTech::Ddr4)
-        .with_request_bytes(packet_bytes);
+    let cfg =
+        SystemConfig::pcie_host(bandwidth_gbps, MemTech::Ddr4).with_request_bytes(packet_bytes);
     let mut sim = Simulation::new(cfg).expect("valid config");
     sim.run_gemm(GemmSpec::square(matrix))
         .expect("gemm completes")
@@ -83,7 +83,10 @@ pub fn run(scale: Scale) -> Vec<PacketCurve> {
 /// Run and print the figure's series.
 pub fn run_and_print(scale: Scale) -> Vec<PacketCurve> {
     let curves = run(scale);
-    println!("# Fig 4: execution time (us) vs packet size, matrix {}", matrix_size(scale));
+    println!(
+        "# Fig 4: execution time (us) vs packet size, matrix {}",
+        matrix_size(scale)
+    );
     print!("{:>10}", "pkt(B)");
     for c in &curves {
         print!("{:>12}", format!("{}GB/s", c.bandwidth_gbps));
@@ -120,7 +123,10 @@ mod tests {
         let t64 = measure(16.0, 64, matrix);
         let t256 = measure(16.0, 256, matrix);
         let t4096 = measure(16.0, 4096, matrix);
-        assert!(t64 > t256, "64B ({t64}) should be slower than 256B ({t256})");
+        assert!(
+            t64 > t256,
+            "64B ({t64}) should be slower than 256B ({t256})"
+        );
         assert!(
             t4096 > t256,
             "4096B ({t4096}) should be slower than 256B ({t256})"

@@ -8,6 +8,9 @@ use accesys::{MemBackendConfig, Simulation, SystemConfig};
 use accesys_mem::SimpleMemoryConfig;
 use accesys_workload::GemmSpec;
 
+/// One sweep panel: `(swept value, execution time ns)` points.
+pub type Sweep = Vec<(f64, f64)>;
+
 /// Bandwidths swept in GB/s.
 pub const BANDWIDTHS: [f64; 8] = [8.0, 16.0, 25.0, 50.0, 75.0, 100.0, 160.0, 256.0];
 
@@ -38,7 +41,7 @@ pub fn measure(bandwidth_gbps: f64, latency_ns: f64, matrix: u32) -> f64 {
 }
 
 /// Run the bandwidth sweep (latency pinned at 18 ns).
-pub fn run_bandwidth(scale: Scale) -> Vec<(f64, f64)> {
+pub fn run_bandwidth(scale: Scale) -> Sweep {
     let matrix = matrix_size(scale);
     BANDWIDTHS
         .iter()
@@ -47,7 +50,7 @@ pub fn run_bandwidth(scale: Scale) -> Vec<(f64, f64)> {
 }
 
 /// Run the latency sweep (bandwidth pinned at 64 GB/s).
-pub fn run_latency(scale: Scale) -> Vec<(f64, f64)> {
+pub fn run_latency(scale: Scale) -> Sweep {
     let matrix = matrix_size(scale);
     LATENCIES
         .iter()
@@ -56,11 +59,17 @@ pub fn run_latency(scale: Scale) -> Vec<(f64, f64)> {
 }
 
 /// Run and print both panels.
-pub fn run_and_print(scale: Scale) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+pub fn run_and_print(scale: Scale) -> (Sweep, Sweep) {
     let bw = run_bandwidth(scale);
     let lat = run_latency(scale);
-    println!("# Fig 6a: memory bandwidth sweep, matrix {}", matrix_size(scale));
-    println!("{:>12} {:>14} {:>12}", "BW (GB/s)", "exec (us)", "normalized");
+    println!(
+        "# Fig 6a: memory bandwidth sweep, matrix {}",
+        matrix_size(scale)
+    );
+    println!(
+        "{:>12} {:>14} {:>12}",
+        "BW (GB/s)", "exec (us)", "normalized"
+    );
     let worst = bw.first().expect("nonempty").1;
     for &(b, t) in &bw {
         println!("{b:>12} {:>14.1} {:>12.3}", t / 1000.0, t / worst);
@@ -72,7 +81,10 @@ pub fn run_and_print(scale: Scale) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
         100.0 * (1.0 - best / worst)
     );
     println!("# Fig 6b: memory latency sweep");
-    println!("{:>12} {:>14} {:>12}", "lat (ns)", "exec (us)", "normalized");
+    println!(
+        "{:>12} {:>14} {:>12}",
+        "lat (ns)", "exec (us)", "normalized"
+    );
     let base = lat.first().expect("nonempty").1;
     for &(l, t) in &lat {
         println!("{l:>12} {:>14.1} {:>12.3}", t / 1000.0, t / base);

@@ -36,10 +36,7 @@ impl TranslationRow {
 
 /// Matrix sizes at each scale (paper: 64 – 2048).
 pub fn matrix_sizes(scale: Scale) -> Vec<u32> {
-    scale.pick(
-        vec![64, 128, 256, 512],
-        vec![64, 128, 256, 512, 1024, 2048],
-    )
+    scale.pick(vec![64, 128, 256, 512], vec![64, 128, 256, 512, 1024, 2048])
 }
 
 /// Measure one row on the Table II baseline (PCIe 2 GB/s, DDR3, SMMU on).
@@ -83,7 +80,9 @@ pub fn run_and_print(scale: Scale) -> Vec<TranslationRow> {
         format!("{:.2}", r.smmu.trans_mean_ns())
     });
     line("PTW times", &|r| r.smmu.ptw_count.to_string());
-    line("PTW mean (cyc)", &|r| format!("{:.2}", r.smmu.ptw_mean_ns()));
+    line("PTW mean (cyc)", &|r| {
+        format!("{:.2}", r.smmu.ptw_mean_ns())
+    });
     line("uTLB lookups", &|r| r.smmu.utlb_lookups.to_string());
     line("uTLB misses", &|r| r.smmu.utlb_misses.to_string());
     line("Trans overhead", &|r| {

@@ -259,17 +259,14 @@ impl Cache {
         // Prefer an invalid way, else the LRU way.
         let way = {
             let lines = &self.sets[set];
-            lines
-                .iter()
-                .position(|l| !l.valid)
-                .unwrap_or_else(|| {
-                    lines
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, l)| l.lru)
-                        .map(|(i, _)| i)
-                        .expect("nonzero associativity")
-                })
+            lines.iter().position(|l| !l.valid).unwrap_or_else(|| {
+                lines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .map(|(i, _)| i)
+                    .expect("nonzero associativity")
+            })
         };
         let victim = self.sets[set][way];
         if victim.valid {
@@ -480,15 +477,14 @@ impl Module for Cache {
     }
 
     fn handle(&mut self, msg: Msg, ctx: &mut Ctx) {
-        match msg {
-            Msg::Packet(pkt) => match pkt.cmd {
+        if let Msg::Packet(pkt) = msg {
+            match pkt.cmd {
                 MemCmd::ReadReq | MemCmd::WriteReq => self.handle_request(pkt, ctx),
                 MemCmd::ReadResp => self.handle_fill(pkt, ctx),
                 MemCmd::SnoopInv => self.handle_snoop(pkt, ctx),
                 MemCmd::SnoopInvAck => self.handle_snoop_ack(pkt, ctx),
                 MemCmd::WriteResp => {} // writeback acks are dropped
-            },
-            _ => {}
+            }
         }
     }
 

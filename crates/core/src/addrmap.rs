@@ -71,6 +71,12 @@ pub const DEVMEM_ACT_BASE: u64 = DEVMEM.base + 0xA000_0000;
 /// Base of the accelerator's virtual address space (SMMU-translated).
 pub const ACCEL_VA_BASE: u64 = 0x40_0000_0000;
 
+// Compile-time layout checks: the data window precedes the activation
+// window, which precedes the page tables and the MSI doorbell.
+const _: () = assert!(DATA_PA_BASE < HOST_ACT_BASE);
+const _: () = assert!(HOST_ACT_BASE < PT_BASE);
+const _: () = assert!(PT_BASE < MSI.base);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,10 +91,8 @@ mod tests {
         assert!(HOST_DRAM.contains(PT_BASE));
         assert!(HOST_DRAM.contains(DATA_PA_BASE));
         assert!(HOST_DRAM.contains(HOST_ACT_BASE));
-        // Data window must end before the activation window.
-        assert!(DATA_PA_BASE < HOST_ACT_BASE);
-        assert!(HOST_ACT_BASE < PT_BASE);
-        assert!(PT_BASE < MSI.base);
+        // Window ordering is asserted at compile time next to the
+        // constants themselves (`const _` checks in the module body).
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub enum AccessMode {
 /// reproduction's extension of the same framework to the next standard
 /// interconnect (fixed 68 B flits, no switch hop, low-latency host
 /// bridge).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum InterconnectKind {
     /// PCIe hierarchy: root complex → switch → endpoint (default).
     #[default]
@@ -306,7 +308,10 @@ mod tests {
         assert!((cfg.cpu.freq_ghz - 1.0).abs() < 1e-12);
         assert!((cfg.pcie.rc.latency_ns - 150.0).abs() < 1e-12);
         assert!((cfg.pcie.switch.latency_ns - 50.0).abs() < 1e-12);
-        assert!(matches!(cfg.host_mem, MemBackendConfig::Dram(MemTech::Ddr3)));
+        assert!(matches!(
+            cfg.host_mem,
+            MemBackendConfig::Dram(MemTech::Ddr3)
+        ));
         cfg.validate().unwrap();
     }
 

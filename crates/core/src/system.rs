@@ -419,7 +419,10 @@ impl Simulation {
             .enqueue_job(job);
     }
 
-    fn run_program(&mut self, program: Vec<CpuOp>) -> Result<(Tick, Vec<(String, Tick)>), RunError> {
+    fn run_program(
+        &mut self,
+        program: Vec<CpuOp>,
+    ) -> Result<(Tick, Vec<(String, Tick)>), RunError> {
         let start = self.kernel.now();
         {
             let cpu = self
@@ -567,10 +570,7 @@ impl Simulation {
                 break;
             }
             let rows = rows_per.min(spec.m - row0);
-            let shard = GemmSpec {
-                m: rows,
-                ..spec
-            };
+            let shard = GemmSpec { m: rows, ..spec };
             let cookie = self.alloc_cookie();
             let job = self.layout_job(&shard, cookie, None, dev as usize);
             self.enqueue(job, dev as usize);
@@ -718,7 +718,18 @@ impl Simulation {
     /// Ids useful for tests and instrumentation: `(cpu, llc, host_mem,
     /// rc, ep0, ctrl0, dma0, membus)`.
     #[doc(hidden)]
-    pub fn debug_handles(&self) -> (ModuleId, ModuleId, ModuleId, ModuleId, ModuleId, ModuleId, ModuleId, ModuleId) {
+    pub fn debug_handles(
+        &self,
+    ) -> (
+        ModuleId,
+        ModuleId,
+        ModuleId,
+        ModuleId,
+        ModuleId,
+        ModuleId,
+        ModuleId,
+        ModuleId,
+    ) {
         (
             self.h.cpu,
             self.h.llc,
@@ -770,8 +781,7 @@ mod tests {
     #[test]
     fn faster_pcie_is_faster_for_memory_bound_gemm() {
         let t = |gb: f64| {
-            let mut sim =
-                Simulation::new(SystemConfig::pcie_host(gb, MemTech::Ddr4)).unwrap();
+            let mut sim = Simulation::new(SystemConfig::pcie_host(gb, MemTech::Ddr4)).unwrap();
             sim.run_gemm(GemmSpec::square(256)).unwrap().total_time_ns()
         };
         let slow = t(2.0);
@@ -823,8 +833,7 @@ mod tests {
         // latency-dominated (small) job.
         let mut cxl = Simulation::new(SystemConfig::cxl_host(8, MemTech::Ddr4)).unwrap();
         let cxl_bw = cxl.config().cxl_link.payload_bandwidth_gbps();
-        let mut pcie =
-            Simulation::new(SystemConfig::pcie_host(cxl_bw, MemTech::Ddr4)).unwrap();
+        let mut pcie = Simulation::new(SystemConfig::pcie_host(cxl_bw, MemTech::Ddr4)).unwrap();
         let t_cxl = cxl.run_gemm(GemmSpec::square(64)).unwrap().total_time_ns();
         let t_pcie = pcie.run_gemm(GemmSpec::square(64)).unwrap().total_time_ns();
         assert!(t_cxl < t_pcie, "cxl {t_cxl} vs pcie {t_pcie}");
@@ -879,8 +888,7 @@ mod tests {
 
     #[test]
     fn sharded_single_accel_matches_plain_run_shape() {
-        let mut sim =
-            Simulation::new(SystemConfig::pcie_host(8.0, MemTech::Ddr4)).unwrap();
+        let mut sim = Simulation::new(SystemConfig::pcie_host(8.0, MemTech::Ddr4)).unwrap();
         let report = sim.run_gemm_sharded(GemmSpec::square(128)).unwrap();
         assert_eq!(report.jobs.len(), 1);
         assert!(report.total_time_ns() > 0.0);

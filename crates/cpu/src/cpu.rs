@@ -1,8 +1,6 @@
 //! Timing CPU: driver control path + streaming Non-GEMM kernels.
 
-use accesys_sim::{
-    streams, units, Ctx, MemCmd, Module, ModuleId, Msg, Packet, Stats, Tick,
-};
+use accesys_sim::{streams, units, Ctx, MemCmd, Module, ModuleId, Msg, Packet, Stats, Tick};
 
 /// Configuration of a [`CpuComplex`].
 #[derive(Copy, Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -98,8 +96,12 @@ const TAG_COMPUTE: u64 = 2;
 #[derive(Debug)]
 enum State {
     Idle,
-    WaitIrq { cookie: u64 },
-    WaitAll { remaining: std::collections::BTreeSet<u64> },
+    WaitIrq {
+        cookie: u64,
+    },
+    WaitAll {
+        remaining: std::collections::BTreeSet<u64>,
+    },
     Stream(StreamState),
     Done,
 }
@@ -307,8 +309,7 @@ impl CpuComplex {
                     write_addr,
                 } => {
                     let line = u64::from(self.cfg.line_bytes);
-                    let compute_ns =
-                        flops as f64 / (self.cfg.ipc * self.cfg.freq_ghz);
+                    let compute_ns = flops as f64 / (self.cfg.ipc * self.cfg.freq_ghz);
                     let st = StreamState {
                         read_left: read_bytes.div_ceil(line),
                         write_left: write_bytes.div_ceil(line),
@@ -553,10 +554,7 @@ mod tests {
         };
         let t_narrow = run_stream(narrow, fast_mem(), op.clone());
         let t_wide = run_stream(wide, fast_mem(), op);
-        assert!(
-            t_narrow > 4 * t_wide,
-            "narrow {t_narrow} vs wide {t_wide}"
-        );
+        assert!(t_narrow > 4 * t_wide, "narrow {t_narrow} vs wide {t_wide}");
     }
 
     #[test]
@@ -676,10 +674,18 @@ mod tests {
         // Three devices, 10 µs each, launched async: total ≈ 10 µs + the
         // launch overheads, far below the 30 µs a serial driver would take.
         let program = vec![
-            CpuOp::LaunchAsync { doorbell_addr: 0x1_0000_0000 },
-            CpuOp::LaunchAsync { doorbell_addr: 0x1_0100_0000 },
-            CpuOp::LaunchAsync { doorbell_addr: 0x1_0200_0000 },
-            CpuOp::WaitAll { cookies: vec![0, 1, 2] },
+            CpuOp::LaunchAsync {
+                doorbell_addr: 0x1_0000_0000,
+            },
+            CpuOp::LaunchAsync {
+                doorbell_addr: 0x1_0100_0000,
+            },
+            CpuOp::LaunchAsync {
+                doorbell_addr: 0x1_0200_0000,
+            },
+            CpuOp::WaitAll {
+                cookies: vec![0, 1, 2],
+            },
         ];
         let (end, irqs) = fanout_rig(10_000.0, program);
         assert_eq!(irqs, 3);
@@ -693,7 +699,9 @@ mod tests {
         // Device 0 answers in 1 ns — long before WaitAll runs. The early
         // MSI must be latched, not lost.
         let program = vec![
-            CpuOp::LaunchAsync { doorbell_addr: 0x1_0000_0000 },
+            CpuOp::LaunchAsync {
+                doorbell_addr: 0x1_0000_0000,
+            },
             CpuOp::Delay { ns: 5_000.0 },
             CpuOp::WaitAll { cookies: vec![0] },
         ];

@@ -1,8 +1,6 @@
 //! Multi-channel DMA engine.
 
-use accesys_sim::{
-    streams, units, Ctx, MemCmd, Module, ModuleId, Msg, Packet, Stats, Tick,
-};
+use accesys_sim::{streams, units, Ctx, MemCmd, Module, ModuleId, Msg, Packet, Stats, Tick};
 use std::collections::VecDeque;
 
 /// Configuration of a [`DmaEngine`].
@@ -395,11 +393,14 @@ mod tests {
         assert_eq!(stats.get_or_zero("dma.bytes_read"), 4096.0);
         let done = &k.module::<Waiter>(waiter).unwrap().done;
         assert_eq!(done.len(), 1);
-        assert_eq!(done[0].1, DmaDone {
-            channel: 0,
-            cookie: 1,
-            bytes: 4096
-        });
+        assert_eq!(
+            done[0].1,
+            DmaDone {
+                channel: 0,
+                cookie: 1,
+                bytes: 4096
+            }
+        );
         // 4 KiB at 8 GB/s = 512 ns of serialization minimum.
         assert!(done[0].0 >= units::ns(512.0));
     }
@@ -438,8 +439,16 @@ mod tests {
             desc_latency_ns: 0.0,
         };
         let (mut k, mem, dma, waiter) = setup(cfg);
-        k.schedule(0, dma, Msg::custom(desc(0, 64 << 10, false, mem, waiter, 0)));
-        k.schedule(0, dma, Msg::custom(desc(1, 64 << 10, false, mem, waiter, 1)));
+        k.schedule(
+            0,
+            dma,
+            Msg::custom(desc(0, 64 << 10, false, mem, waiter, 0)),
+        );
+        k.schedule(
+            0,
+            dma,
+            Msg::custom(desc(1, 64 << 10, false, mem, waiter, 1)),
+        );
         k.run_until_idle().unwrap();
         let done = &k.module::<Waiter>(waiter).unwrap().done;
         assert_eq!(done.len(), 2);
@@ -447,10 +456,7 @@ mod tests {
         // both must have been in flight together (second finishes well
         // before 2x the first's solo time + gap).
         let spread = done[1].0.saturating_sub(done[0].0);
-        assert!(
-            spread < done[0].0 / 4,
-            "channels look serialized: {done:?}"
-        );
+        assert!(spread < done[0].0 / 4, "channels look serialized: {done:?}");
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Device-side PCIe endpoint port with a bounded non-posted tag pool.
 
 use crate::AddrRange;
-use accesys_sim::{
-    units, CreditClass, Ctx, MemCmd, Module, ModuleId, Msg, Packet, Stats,
-};
+use accesys_sim::{units, CreditClass, Ctx, MemCmd, Module, ModuleId, Msg, Packet, Stats};
 use std::collections::VecDeque;
 
 /// Configuration of a [`PcieEndpoint`].
@@ -170,10 +168,7 @@ impl Module for PcieEndpoint {
                         self.mmio_requests += 1;
                         debug_assert!(
                             self.mmio_range.contains(pkt.addr)
-                                || self
-                                    .inward_routes
-                                    .iter()
-                                    .any(|(r, _)| r.contains(pkt.addr)),
+                                || self.inward_routes.iter().any(|(r, _)| r.contains(pkt.addr)),
                             "inward request outside BAR/routes: {:#x}",
                             pkt.addr
                         );

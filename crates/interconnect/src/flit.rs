@@ -88,8 +88,7 @@ impl FlitLinkConfig {
 
     /// Effective *payload* bandwidth in GB/s (after flit framing).
     pub fn payload_bandwidth_gbps(&self) -> f64 {
-        self.raw_bandwidth_gbps() * f64::from(self.payload_per_flit)
-            / f64::from(self.flit_bytes)
+        self.raw_bandwidth_gbps() * f64::from(self.payload_per_flit) / f64::from(self.flit_bytes)
     }
 
     /// Number of flits a packet occupies.
@@ -301,8 +300,8 @@ mod tests {
         // ×8 Gen5: raw 31.5 GB/s; one 64 B write = 68 B wire ≈ 2.159 ns.
         let cfg = FlitLinkConfig::cxl2(8);
         let (got, _) = run_writes(cfg, 1, 64);
-        let expect = units::transfer_time(68, cfg.raw_bandwidth_gbps())
-            + units::ns(cfg.prop_delay_ns);
+        let expect =
+            units::transfer_time(68, cfg.raw_bandwidth_gbps()) + units::ns(cfg.prop_delay_ns);
         assert_eq!(got[0].0, expect);
     }
 

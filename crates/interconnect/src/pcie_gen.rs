@@ -55,9 +55,9 @@ impl PcieGen {
     /// Line-encoding efficiency (payload bits / wire bits).
     pub fn encoding_efficiency(self) -> f64 {
         match self {
-            PcieGen::Gen1 | PcieGen::Gen2 => 0.8,          // 8b/10b
+            PcieGen::Gen1 | PcieGen::Gen2 => 0.8, // 8b/10b
             PcieGen::Gen3 | PcieGen::Gen4 | PcieGen::Gen5 => 128.0 / 130.0,
-            PcieGen::Gen6 => 242.0 / 256.0,                // FLIT + FEC
+            PcieGen::Gen6 => 242.0 / 256.0, // FLIT + FEC
         }
     }
 

@@ -147,8 +147,7 @@ impl RootComplex {
     }
 
     fn is_sideband(&self, addr: u64) -> bool {
-        self.sideband_target.is_valid()
-            && self.sideband_ranges.iter().any(|r| r.contains(addr))
+        self.sideband_target.is_valid() && self.sideband_ranges.iter().any(|r| r.contains(addr))
     }
 
     /// The configuration this root complex was built with.
@@ -269,8 +268,7 @@ mod tests {
         let host = k.add_module(Box::new(Term { got: vec![] }));
         let down = k.add_module(Box::new(Term { got: vec![] }));
         let rc = k.add_module(Box::new(
-            RootComplex::new("rc", RootComplexConfig::default(), host, down)
-                .with_device_range(BAR),
+            RootComplex::new("rc", RootComplexConfig::default(), host, down).with_device_range(BAR),
         ));
         let p = Packet::request(0, MemCmd::ReadReq, 0x8000, 256, 0);
         k.schedule(0, rc, Msg::Packet(p));
@@ -286,8 +284,7 @@ mod tests {
         let host = k.add_module(Box::new(Term { got: vec![] }));
         let down = k.add_module(Box::new(Term { got: vec![] }));
         let rc = k.add_module(Box::new(
-            RootComplex::new("rc", RootComplexConfig::default(), host, down)
-                .with_device_range(BAR),
+            RootComplex::new("rc", RootComplexConfig::default(), host, down).with_device_range(BAR),
         ));
         let p = Packet::request(0, MemCmd::WriteReq, BAR.base + 0x10, 8, 0);
         k.schedule(0, rc, Msg::Packet(p));

@@ -11,7 +11,9 @@ use std::collections::VecDeque;
 /// files, DRAMsim3's address scheme strings); the choice decides whether
 /// a streaming accelerator sees channel parallelism, bank parallelism or
 /// row locality first.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum AddressMapping {
     /// Channel interleaved per 64 B line, bank switched per row
     /// (default): streams hit every channel and stay in one row per bank.
@@ -26,7 +28,9 @@ pub enum AddressMapping {
 }
 
 /// Row-buffer management policy.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum PagePolicy {
     /// Keep the row open after an access (bets on locality; default).
     #[default]
@@ -403,7 +407,8 @@ impl Dram {
                 MemCmd::WriteReq => self.writes += 1,
                 _ => {}
             }
-            self.lat.observe(units::to_ns(data_end.saturating_sub(done.arrived)));
+            self.lat
+                .observe(units::to_ns(data_end.saturating_sub(done.arrived)));
             done.pkt.make_response();
             if let Some(next) = done.pkt.route.pop() {
                 ctx.send_at(next, data_end, Msg::Packet(done.pkt));
@@ -586,8 +591,7 @@ mod tests {
         let (done, stats) = run(MemTech::Ddr4, addrs, 64);
         assert_eq!(done.len(), 128);
         let hits = stats.get_or_zero("dram.row_hits");
-        let misses =
-            stats.get_or_zero("dram.row_misses") + stats.get_or_zero("dram.row_conflicts");
+        let misses = stats.get_or_zero("dram.row_misses") + stats.get_or_zero("dram.row_conflicts");
         assert!(hits > 4.0 * misses, "hits={hits} misses={misses}");
     }
 

@@ -73,8 +73,7 @@ impl MemTech {
     /// Aggregate peak bandwidth in GB/s (Table III "Bandwidth"):
     /// channels × width/8 × rate.
     pub fn bandwidth_gbps(self) -> f64 {
-        self.channels() as f64 * (self.data_width_bits() as f64 / 8.0)
-            * self.data_rate_mts() as f64
+        self.channels() as f64 * (self.data_width_bits() as f64 / 8.0) * self.data_rate_mts() as f64
             / 1000.0
     }
 

@@ -462,7 +462,10 @@ mod tests {
                 max_time: Tick::MAX,
             })
             .unwrap_err();
-        assert!(matches!(err, SimError::EventLimitExceeded { limit: 1000, .. }));
+        assert!(matches!(
+            err,
+            SimError::EventLimitExceeded { limit: 1000, .. }
+        ));
     }
 
     #[test]

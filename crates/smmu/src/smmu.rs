@@ -1,8 +1,6 @@
 //! SMMU: µTLB + page-table walker.
 
-use accesys_sim::{
-    streams, units, Ctx, MemCmd, Module, ModuleId, Msg, Packet, Stats, Tick,
-};
+use accesys_sim::{streams, units, Ctx, MemCmd, Module, ModuleId, Msg, Packet, Stats, Tick};
 use std::collections::{HashMap, VecDeque};
 
 /// Configuration of an [`Smmu`].
@@ -296,8 +294,8 @@ impl Smmu {
         self.walk_cache_install(walk.vpn);
         for (pkt, arrived) in walk.waiting {
             self.stats.translations += 1;
-            self.stats.trans_time_sum_ns += units::to_ns(ctx.now() - arrived)
-                + self.cfg.tlb_latency_ns;
+            self.stats.trans_time_sum_ns +=
+                units::to_ns(ctx.now() - arrived) + self.cfg.tlb_latency_ns;
             self.forward_translated(pkt, ctx);
         }
         // Admit queued walk requests now that a slot freed up. Entries
@@ -498,9 +496,11 @@ mod tests {
 
     #[test]
     fn tlb_capacity_causes_thrash() {
-        let mut cfg = SmmuConfig::default();
-        cfg.tlb_entries = 4;
-        cfg.walk_cache_entries = 0;
+        let cfg = SmmuConfig {
+            tlb_entries: 4,
+            walk_cache_entries: 0,
+            ..SmmuConfig::default()
+        };
         // Touch 16 pages twice; with 4 entries the second round misses too.
         let mut vas: Vec<u64> = (0..16u64).map(|p| VA + p * 4096).collect();
         vas.extend((0..16u64).map(|p| VA + p * 4096));
@@ -513,8 +513,10 @@ mod tests {
 
     #[test]
     fn walk_cache_skips_upper_levels() {
-        let mut with = SmmuConfig::default();
-        with.tlb_entries = 1; // force a walk per page
+        let with = SmmuConfig {
+            tlb_entries: 1, // force a walk per page
+            ..SmmuConfig::default()
+        };
         let mut without = with;
         without.walk_cache_entries = 0;
         // Pages share the same penultimate-level group (within 512 pages).

@@ -102,7 +102,14 @@ pub fn bert_embed_ops(model: BertModel, seq_len: u32) -> Vec<Op> {
             2 * s * h,
             1,
         ),
-        Op::non_gemm("embed_ln", OpKind::LayerNorm, s * h * d, s * h * d, 8 * s * h, 1),
+        Op::non_gemm(
+            "embed_ln",
+            OpKind::LayerNorm,
+            s * h * d,
+            s * h * d,
+            8 * s * h,
+            1,
+        ),
     ]
 }
 
@@ -119,7 +126,10 @@ mod tests {
         assert_eq!(bert.len(), vit.len());
         for (b, v) in bert.iter().zip(&vit) {
             assert_eq!(b.name, v.name);
-            assert_eq!(b.gemm.map(|g| (g.m, g.n, g.k)), v.gemm.map(|g| (g.m, g.n, g.k)));
+            assert_eq!(
+                b.gemm.map(|g| (g.m, g.n, g.k)),
+                v.gemm.map(|g| (g.m, g.n, g.k))
+            );
             assert_eq!(b.total_bytes(), v.total_bytes());
         }
     }

@@ -128,10 +128,7 @@ mod tests {
         assert_eq!(a1.len(), 32 * 32);
         assert!(a1.iter().all(|&x| (-8..=8).contains(&x)));
         // Different seed, different data.
-        let other = GemmSpec {
-            seed: 7,
-            ..spec
-        };
+        let other = GemmSpec { seed: 7, ..spec };
         assert_ne!(other.generate_operands().0, a1);
     }
 

@@ -292,7 +292,14 @@ pub fn vit_embed_ops(model: VitModel) -> Vec<Op> {
             1,
         ),
         // Positional embedding + CLS concat: one streaming add over S×H.
-        Op::non_gemm("pos_embed", OpKind::Residual, 2 * s * h * d, s * h * d, s * h, 1),
+        Op::non_gemm(
+            "pos_embed",
+            OpKind::Residual,
+            2 * s * h * d,
+            s * h * d,
+            s * h,
+            1,
+        ),
     ]
 }
 
@@ -303,7 +310,14 @@ pub fn vit_head_ops(model: VitModel) -> Vec<Op> {
     let h = u64::from(model.hidden());
     let d = 4u64;
     vec![
-        Op::non_gemm("ln_f", OpKind::LayerNorm, s * h * d, s * h * d, 8 * s * h, 1),
+        Op::non_gemm(
+            "ln_f",
+            OpKind::LayerNorm,
+            s * h * d,
+            s * h * d,
+            8 * s * h,
+            1,
+        ),
         // Only the CLS token reaches the classifier: a 1×classes GEMM.
         Op::gemm("head", 1, model.num_classes(), model.hidden(), 1),
     ]

@@ -10,12 +10,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = GemmSpec::square(256);
     let bandwidth = 16.0;
     println!("GEMM {spec} over a {bandwidth} GB/s PCIe link\n");
-    println!("{:>10} {:>12} {:>12} {:>14}", "packet", "time (us)", "vs best", "EP tag stalls");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "packet", "time (us)", "vs best", "EP tag stalls"
+    );
 
     let mut results = Vec::new();
     for packet in [64u32, 128, 256, 512, 1024, 2048, 4096] {
-        let config =
-            SystemConfig::pcie_host(bandwidth, MemTech::Ddr4).with_request_bytes(packet);
+        let config = SystemConfig::pcie_host(bandwidth, MemTech::Ddr4).with_request_bytes(packet);
         let mut sim = Simulation::new(config)?;
         let report = sim.run_gemm(spec)?;
         results.push((

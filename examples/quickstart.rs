@@ -21,9 +21,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("workload: {spec}");
     println!("functional result correct: {passed}");
-    println!("end-to-end time:   {:>10.1} us", report.total_time_ns() / 1000.0);
-    println!("accelerator time:  {:>10.1} us", report.gemm_time_ns() / 1000.0);
-    println!("bytes moved:       {:>10.1} MiB", report.bytes_moved() as f64 / (1 << 20) as f64);
+    println!(
+        "end-to-end time:   {:>10.1} us",
+        report.total_time_ns() / 1000.0
+    );
+    println!(
+        "accelerator time:  {:>10.1} us",
+        report.gemm_time_ns() / 1000.0
+    );
+    println!(
+        "bytes moved:       {:>10.1} MiB",
+        report.bytes_moved() as f64 / (1 << 20) as f64
+    );
     println!("achieved DMA BW:   {:>10.2} GB/s", report.achieved_gbps());
     println!(
         "SMMU: {} translations, {} walks, {:.1}% miss rate",

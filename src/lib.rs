@@ -30,9 +30,7 @@ pub use accesys_workload as workload;
 
 /// Commonly used types for examples and tests.
 pub mod prelude {
-    pub use accesys::{
-        AccessMode, Error, MemoryLocation, RunReport, Simulation, SystemConfig,
-    };
+    pub use accesys::{AccessMode, Error, MemoryLocation, RunReport, Simulation, SystemConfig};
     pub use accesys_mem::MemTech;
     pub use accesys_workload::{GemmSpec, VitModel};
 }

@@ -37,9 +37,7 @@ fn sharded_cluster_produces_every_shard_once() {
     let cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4).with_accel_count(3);
     let mut sim = Simulation::new(cfg).unwrap();
     // 200 rows over 3 members: shards of 67/67/66.
-    let report = sim
-        .run_gemm_sharded(GemmSpec::new(200, 128, 128))
-        .unwrap();
+    let report = sim.run_gemm_sharded(GemmSpec::new(200, 128, 128)).unwrap();
     assert_eq!(report.jobs.len(), 3);
     let stored: u64 = report.jobs.iter().map(|j| j.bytes_stored).sum();
     assert_eq!(stored, 200 * 128 * 4);
@@ -118,7 +116,11 @@ fn link_errors_slow_but_do_not_break_a_run() {
         let mut sim = Simulation::new(cfg).unwrap();
         sim.run_gemm(spec).unwrap()
     };
-    assert_eq!(noisy.jobs.len(), 1, "replays must stay invisible to software");
+    assert_eq!(
+        noisy.jobs.len(),
+        1,
+        "replays must stay invisible to software"
+    );
     assert!(noisy.stats.sum_prefix("link.") > 0.0);
     let replays: f64 = ["link.rc_down", "link.sw_down0", "link.ep_up0", "link.sw_up"]
         .iter()

@@ -1,0 +1,37 @@
+//! Tier-1 smoke test: the paper-baseline system must build, run a small
+//! GEMM end to end, and produce a self-consistent [`RunReport`]. CI runs
+//! this on every push; if it breaks, everything downstream is suspect.
+
+use gem5_accesys::prelude::*;
+
+#[test]
+fn paper_baseline_runs_a_small_gemm() {
+    let config = SystemConfig::paper_baseline();
+    let mut sim = Simulation::new(config).expect("paper baseline must validate and build");
+    let report: RunReport = sim
+        .run_gemm(GemmSpec::square(64))
+        .expect("64x64 GEMM must complete");
+
+    // Time advanced and is internally consistent.
+    assert!(report.total_time_ns() > 0.0, "simulated time must advance");
+    assert!(
+        report.gemm_time_ns() > 0.0 && report.gemm_time_ns() <= report.total_time_ns(),
+        "GEMM phase must fit inside the run"
+    );
+
+    // One job ran and moved at least the operand + result footprint.
+    assert_eq!(report.jobs.len(), 1, "square(64) is a single job");
+    let footprint = GemmSpec::square(64).footprint_bytes();
+    assert!(
+        report.bytes_moved() >= footprint,
+        "moved {} bytes, below the {footprint}-byte footprint",
+        report.bytes_moved()
+    );
+
+    // Achieved bandwidth is positive and below any plausible PCIe ceiling.
+    assert!(report.achieved_gbps() > 0.0);
+    assert!(report.achieved_gbps() < 1024.0);
+
+    // The SMMU saw traffic (the baseline translates accelerator accesses).
+    assert!(report.smmu.translations > 0, "baseline runs with SMMU on");
+}

@@ -1,0 +1,306 @@
+//! Minimal proptest shim, vendored because the crates.io registry is
+//! unreachable in this build environment.
+//!
+//! Supports the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//! header), numeric range strategies, [`collection::vec`], [`any`] for
+//! `bool`, and the `prop_assert*` macros. Cases are generated from a
+//! deterministic per-test seed so failures reproduce across runs; there is
+//! no shrinking — the failing inputs are printed instead.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//!
+//! addition_commutes();
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Per-block configuration, set via `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed `prop_assert*` inside a generated case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.message.fmt(f)
+    }
+}
+
+/// Deterministic per-test random source handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeded from the test name so each test sees a stable stream.
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Generates values of `Self::Value`. The shim has no shrinking; a
+/// strategy is just a sampler.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.inner.gen_range(self.clone())
+                }
+            }
+        )+
+    };
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! impl_range_inclusive_strategy {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.inner.gen_range(self.clone())
+                }
+            }
+        )+
+    };
+}
+
+impl_range_inclusive_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.inner.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_any_uint {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.inner.next_u64() as $ty
+                }
+            }
+        )+
+    };
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize);
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// `prop::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Define property tests. Mirrors `proptest::proptest!` syntax for plain
+/// `name in strategy` argument lists.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "proptest case {case} of {} failed: {err}\ninputs: {:?}",
+                        stringify!($name),
+                        ($(&$arg,)+)
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "format", ..)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with an optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `(left == right)`\n  left: {left:?}\n right: {right:?}"
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{}\n  left: {left:?}\n right: {right:?}",
+                        format!($($fmt)+)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// `prop_assert_ne!(left, right)` with an optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if *left == *right {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `(left != right)`\n  both: {left:?}"
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if *left == *right {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{}\n  both: {left:?}",
+                        format!($($fmt)+)
+                    )));
+                }
+            }
+        }
+    };
+}

@@ -1,0 +1,273 @@
+//! Minimal serde shim, vendored because the crates.io registry is
+//! unreachable in this build environment.
+//!
+//! It keeps serde's two public names — [`Serialize`] and [`Deserialize`],
+//! each both a trait and a derive macro — but swaps the visitor
+//! architecture for a small self-describing [`Value`] model. The in-tree
+//! `serde_json` shim serializes that model to JSON text and back, which is
+//! all this workspace needs (config round-trips and report dumps).
+//!
+//! ```
+//! #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
+//! struct Point {
+//!     x: u32,
+//!     y: u32,
+//! }
+//!
+//! let v = serde::Serialize::to_value(&Point { x: 3, y: 4 });
+//! let back: Point = serde::Deserialize::from_value(&v).unwrap();
+//! assert_eq!(back, Point { x: 3, y: 4 });
+//! ```
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized form: the intermediate every [`Serialize`]
+/// impl produces and every [`Deserialize`] impl consumes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map; keys are field or variant names.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of a [`Value::Map`], if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The items of a [`Value::Seq`], if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the shape a
+/// [`Deserialize`] impl expects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize to the shim's [`Value`] model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from the shim's [`Value`] model.
+pub trait Deserialize: Sized {
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Look up a struct field in a serialized map (derive-macro helper).
+pub fn map_field<'a>(
+    map: &'a [(String, Value)],
+    field: &str,
+    type_name: &str,
+) -> Result<&'a Value, DeError> {
+    map.iter()
+        .find(|(k, _)| k == field)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{field}` for {type_name}")))
+}
+
+/// Index into a serialized sequence (derive-macro helper).
+pub fn seq_item<'a>(seq: &'a [Value], index: usize, type_name: &str) -> Result<&'a Value, DeError> {
+    seq.get(index)
+        .ok_or_else(|| DeError::custom(format!("missing element {index} for {type_name}")))
+}
+
+macro_rules! impl_serde_int {
+    ($($ty:ty => $variant:ident as $wide:ty),+ $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                fn to_value(&self) -> Value {
+                    Value::$variant(*self as $wide)
+                }
+            }
+
+            impl Deserialize for $ty {
+                fn from_value(value: &Value) -> Result<Self, DeError> {
+                    let wide: $wide = match *value {
+                        Value::I64(v) => v
+                            .try_into()
+                            .map_err(|_| DeError::custom("signed value out of range"))?,
+                        Value::U64(v) => v
+                            .try_into()
+                            .map_err(|_| DeError::custom("unsigned value out of range"))?,
+                        _ => {
+                            return Err(DeError::custom(concat!(
+                                "expected integer for ",
+                                stringify!($ty)
+                            )))
+                        }
+                    };
+                    wide.try_into()
+                        .map_err(|_| DeError::custom(concat!("value out of range for ", stringify!($ty))))
+                }
+            }
+        )+
+    };
+}
+
+impl_serde_int!(
+    i8 => I64 as i64,
+    i16 => I64 as i64,
+    i32 => I64 as i64,
+    i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64,
+    u16 => U64 as u64,
+    u32 => U64 as u64,
+    u64 => U64 as u64,
+    usize => U64 as u64,
+);
+
+macro_rules! impl_serde_float {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                fn to_value(&self) -> Value {
+                    Value::F64(f64::from(*self))
+                }
+            }
+
+            impl Deserialize for $ty {
+                fn from_value(value: &Value) -> Result<Self, DeError> {
+                    match *value {
+                        Value::F64(v) => Ok(v as $ty),
+                        Value::I64(v) => Ok(v as $ty),
+                        Value::U64(v) => Ok(v as $ty),
+                        _ => Err(DeError::custom(concat!("expected number for ", stringify!($ty)))),
+                    }
+                }
+            }
+        )+
+    };
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match *value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::custom("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::custom("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Deserialize::from_value(value)?;
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected sequence of length {N}")))
+    }
+}

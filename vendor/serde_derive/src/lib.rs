@@ -1,0 +1,375 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! vendored serde shim.
+//!
+//! The crates.io registry is unreachable in this build environment, so this
+//! crate re-implements just enough of serde's derive machinery — by
+//! hand-parsing the `proc_macro` token stream, since `syn` is equally
+//! unavailable — to cover the type shapes the workspace actually uses:
+//!
+//! * structs with named fields,
+//! * enums whose variants are unit, tuple, or struct-like.
+//!
+//! Generated impls target the shim's self-describing [`Value`] model rather
+//! than serde's visitor architecture; `serde_json` in this tree speaks the
+//! same model, so round-trips work end to end.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field list of a struct or struct-like enum variant.
+type Fields = Vec<String>;
+
+enum Shape {
+    /// `struct S { a: A, b: B }`
+    Struct(Fields),
+    /// `struct S(A, B);`
+    TupleStruct(usize),
+    /// `enum E { Unit, Tuple(A), Named { a: A } }`
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Fields),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_type(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect::<String>();
+            format!("::serde::Value::Map(vec![{entries}])")
+        }
+        Shape::TupleStruct(arity) => {
+            let items = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect::<String>();
+            format!("::serde::Value::Seq(vec![{items}])")
+        }
+        Shape::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|(v, vs)| serialize_variant_arm(&name, v, vs))
+                .collect::<String>();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_type(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_field(map, \"{f}\", \"{name}\")?)?,"
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "let map = value.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                     \"expected map for struct {name}\"))?;\n\
+                 Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct(arity) => {
+            let inits = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(::serde::seq_item(seq, {i}, \"{name}\")?)?,"
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "let seq = value.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                     \"expected sequence for tuple struct {name}\"))?;\n\
+                 Ok({name}({inits}))"
+            )
+        }
+        Shape::Enum(variants) => deserialize_enum_body(&name, variants),
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+fn serialize_variant_arm(name: &str, variant: &str, shape: &VariantShape) -> String {
+    match shape {
+        VariantShape::Unit => {
+            format!("{name}::{variant} => ::serde::Value::Str(\"{variant}\".to_string()),")
+        }
+        VariantShape::Tuple(1) => format!(
+            "{name}::{variant}(f0) => ::serde::Value::Map(vec![(\"{variant}\".to_string(), \
+                 ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantShape::Tuple(arity) => {
+            let binds = (0..*arity).map(|i| format!("f{i},")).collect::<String>();
+            let items = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(f{i}),"))
+                .collect::<String>();
+            format!(
+                "{name}::{variant}({binds}) => ::serde::Value::Map(vec![(\"{variant}\".to_string(), \
+                     ::serde::Value::Seq(vec![{items}]))]),"
+            )
+        }
+        VariantShape::Named(fields) => {
+            let binds = fields.iter().map(|f| format!("{f},")).collect::<String>();
+            let entries = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"))
+                .collect::<String>();
+            format!(
+                "{name}::{variant} {{ {binds} }} => ::serde::Value::Map(vec![(\"{variant}\".to_string(), \
+                     ::serde::Value::Map(vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[(String, VariantShape)]) -> String {
+    let unit_arms = variants
+        .iter()
+        .filter(|(_, vs)| matches!(vs, VariantShape::Unit))
+        .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+        .collect::<String>();
+    let data_arms = variants
+        .iter()
+        .filter_map(|(v, vs)| match vs {
+            VariantShape::Unit => None,
+            VariantShape::Tuple(1) => Some(format!(
+                "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+            )),
+            VariantShape::Tuple(arity) => {
+                let inits = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(::serde::seq_item(seq, {i}, \"{name}::{v}\")?)?,"
+                        )
+                    })
+                    .collect::<String>();
+                Some(format!(
+                    "\"{v}\" => {{\n\
+                         let seq = inner.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                             \"expected sequence for variant {name}::{v}\"))?;\n\
+                         Ok({name}::{v}({inits}))\n\
+                     }}"
+                ))
+            }
+            VariantShape::Named(fields) => {
+                let inits = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::map_field(map, \"{f}\", \"{name}::{v}\")?)?,"
+                        )
+                    })
+                    .collect::<String>();
+                Some(format!(
+                    "\"{v}\" => {{\n\
+                         let map = inner.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                             \"expected map for variant {name}::{v}\"))?;\n\
+                         Ok({name}::{v} {{ {inits} }})\n\
+                     }}"
+                ))
+            }
+        })
+        .collect::<String>();
+    format!(
+        "match value {{\n\
+             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::DeError::custom(format!(\
+                     \"unknown unit variant {{other}} for enum {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                     {data_arms}\n\
+                     other => Err(::serde::DeError::custom(format!(\
+                         \"unknown data variant {{other}} for enum {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             _ => Err(::serde::DeError::custom(\
+                 \"expected string or single-entry map for enum {name}\")),\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing (no syn available).
+// ---------------------------------------------------------------------------
+
+fn parse_type(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Struct(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Shape::TupleStruct(count_tuple_fields(g.stream())))
+            }
+            _ => panic!("serde_derive shim: unsupported struct body for `{name}`"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+            _ => panic!("serde_derive shim: missing enum body for `{name}`"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advance past any number of `#[...]` (or `#![...]`) attributes.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            *i += 1;
+        }
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            _ => panic!("serde_derive shim: malformed attribute"),
+        }
+    }
+}
+
+/// Advance past `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected identifier, found {other:?}"),
+    }
+}
+
+/// Skip tokens until a comma at angle-bracket depth zero (commas inside
+/// `<...>` generic argument lists belong to the current field's type).
+/// Returns with `i` positioned after the comma, or at end of input.
+fn skip_past_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let field = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive shim: expected `:` after field `{field}`, found {other:?}")
+            }
+        }
+        skip_past_comma(&tokens, &mut i);
+        fields.push(field);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_past_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_past_comma(&tokens, &mut i);
+        variants.push((name, shape));
+    }
+    variants
+}
