@@ -73,7 +73,7 @@ impl AccelControllerConfig {
 }
 
 /// Completion record of one accelerator job.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct JobRecord {
     /// Job cookie.
     pub cookie: u64,

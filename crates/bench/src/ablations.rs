@@ -6,12 +6,14 @@
 //! * SMMU walk cache on/off.
 //! * LLC coherence point on/off (probe overhead for DC-mode traffic).
 
+use crate::cli::Cli;
 use accesys::{Simulation, SystemConfig};
+use accesys_exp::{Experiment, Grid, Jobs, SweepResult};
 use accesys_mem::MemTech;
 use accesys_workload::GemmSpec;
 
 /// `(parameter, exec_ns)` series of one ablation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct Ablation {
     /// Which knob was swept.
     pub name: &'static str,
@@ -26,91 +28,138 @@ fn exec(cfg: SystemConfig, matrix: u32) -> f64 {
         .total_time_ns()
 }
 
+/// The tag-pool ablation as a declarative experiment.
+pub fn tags_experiment(matrix: u32) -> impl Experiment<Point = u64, Out = f64> {
+    Grid::new("ablation.ep.tags", [1u64, 2, 4, 8, 16, 32, 64, 128, 256]).sweep(move |&t| {
+        let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
+        cfg.pcie.ep.tags = t as u32;
+        exec(cfg, matrix)
+    })
+}
+
+/// The µTLB-capacity ablation as a declarative experiment.
+pub fn tlb_experiment(matrix: u32) -> impl Experiment<Point = u64, Out = f64> {
+    Grid::new("ablation.smmu.tlb_entries", [4u64, 8, 16, 32, 64, 128]).sweep(move |&e| {
+        let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
+        if let Some(smmu) = cfg.smmu.as_mut() {
+            smmu.tlb_entries = e as u32;
+        }
+        exec(cfg, matrix)
+    })
+}
+
+/// The walk-cache ablation as a declarative experiment.
+pub fn walk_cache_experiment(matrix: u32) -> impl Experiment<Point = u64, Out = f64> {
+    Grid::new("ablation.smmu.walk_cache_entries", [0u64, 16]).sweep(move |&e| {
+        let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
+        if let Some(smmu) = cfg.smmu.as_mut() {
+            smmu.walk_cache_entries = e as u32;
+            smmu.tlb_entries = 8; // force walks so the cache matters
+        }
+        exec(cfg, matrix)
+    })
+}
+
+/// The coherence-point ablation as a declarative experiment (0 = off,
+/// 1 = on).
+pub fn coherence_experiment(matrix: u32) -> impl Experiment<Point = u64, Out = f64> {
+    Grid::new("ablation.llc.coherent", [0u64, 1]).sweep(move |&on| {
+        let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
+        cfg.coherent = on != 0;
+        exec(cfg, matrix)
+    })
+}
+
+fn ablation(name: &'static str, result: &SweepResult<u64, f64>) -> Ablation {
+    Ablation {
+        name,
+        points: result.points.clone(),
+    }
+}
+
 /// Sweep the endpoint's non-posted tag pool.
 pub fn tags(matrix: u32) -> Ablation {
-    let points = [1u32, 2, 4, 8, 16, 32, 64, 128, 256]
-        .iter()
-        .map(|&t| {
-            let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
-            cfg.pcie.ep.tags = t;
-            (u64::from(t), exec(cfg, matrix))
-        })
-        .collect();
-    Ablation {
-        name: "ep.tags",
-        points,
-    }
+    ablation("ep.tags", &tags_experiment(matrix).run(Jobs::from_env()))
 }
 
 /// Sweep the µTLB capacity.
 pub fn tlb_entries(matrix: u32) -> Ablation {
-    let points = [4u32, 8, 16, 32, 64, 128]
-        .iter()
-        .map(|&e| {
-            let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
-            if let Some(smmu) = cfg.smmu.as_mut() {
-                smmu.tlb_entries = e;
-            }
-            (u64::from(e), exec(cfg, matrix))
-        })
-        .collect();
-    Ablation {
-        name: "smmu.tlb_entries",
-        points,
-    }
+    ablation(
+        "smmu.tlb_entries",
+        &tlb_experiment(matrix).run(Jobs::from_env()),
+    )
 }
 
 /// Walk cache on vs off.
 pub fn walk_cache(matrix: u32) -> Ablation {
-    let points = [0u32, 16]
-        .iter()
-        .map(|&e| {
-            let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
-            if let Some(smmu) = cfg.smmu.as_mut() {
-                smmu.walk_cache_entries = e;
-                smmu.tlb_entries = 8; // force walks so the cache matters
-            }
-            (u64::from(e), exec(cfg, matrix))
-        })
-        .collect();
-    Ablation {
-        name: "smmu.walk_cache_entries",
-        points,
-    }
+    ablation(
+        "smmu.walk_cache_entries",
+        &walk_cache_experiment(matrix).run(Jobs::from_env()),
+    )
 }
 
 /// Coherence point on vs off (0 = off, 1 = on).
 pub fn coherence(matrix: u32) -> Ablation {
-    let points = [false, true]
-        .iter()
-        .map(|&on| {
-            let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
-            cfg.coherent = on;
-            (u64::from(on), exec(cfg, matrix))
-        })
-        .collect();
-    Ablation {
-        name: "llc.coherent",
-        points,
+    ablation(
+        "llc.coherent",
+        &coherence_experiment(matrix).run(Jobs::from_env()),
+    )
+}
+
+/// Run all four ablations on `jobs` workers, noting wall-clock on
+/// stderr; returns `(human rows, machine-readable values)`.
+pub fn run_jobs(matrix: u32, jobs: Jobs) -> (Vec<Ablation>, serde::Value) {
+    let results = [
+        ("ep.tags", tags_experiment(matrix).run(jobs)),
+        ("smmu.tlb_entries", tlb_experiment(matrix).run(jobs)),
+        (
+            "smmu.walk_cache_entries",
+            walk_cache_experiment(matrix).run(jobs),
+        ),
+        ("llc.coherent", coherence_experiment(matrix).run(jobs)),
+    ];
+    let mut all = Vec::new();
+    let mut values = Vec::new();
+    for (name, result) in &results {
+        crate::cli::note_wall(result);
+        all.push(ablation(name, result));
+        values.push(serde::Serialize::to_value(result));
     }
+    (all, serde::Value::Seq(values))
+}
+
+/// The matrix size the ablations bin uses at each scale.
+pub fn matrix_size(scale: crate::Scale) -> u32 {
+    scale.pick(256, 1024)
+}
+
+/// Run at the CLI's settings; print the series unless `--json`; return
+/// the machine-readable sweep values.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    let matrix = matrix_size(cli.scale);
+    let (all, value) = run_jobs(matrix, cli.jobs);
+    if !cli.json {
+        print(&all, matrix);
+    }
+    value
 }
 
 /// Run all ablations and print them.
 pub fn run_and_print(matrix: u32) -> Vec<Ablation> {
-    let all = vec![
-        tags(matrix),
-        tlb_entries(matrix),
-        walk_cache(matrix),
-        coherence(matrix),
-    ];
+    let (all, _) = run_jobs(matrix, Jobs::from_env());
+    print(&all, matrix);
+    all
+}
+
+/// Print the ablation series.
+pub fn print(all: &[Ablation], matrix: u32) {
     println!("# Ablations (GEMM {matrix}, 16 GB/s PCIe, DDR4 host)");
-    for a in &all {
+    for a in all {
         println!("{}:", a.name);
         for &(v, t) in &a.points {
             println!("  {v:>6} -> {:>10.1} us", t / 1000.0);
         }
     }
-    all
 }
 
 #[cfg(test)]

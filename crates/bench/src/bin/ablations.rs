@@ -1,10 +1,11 @@
 //! Run the framework's design-choice ablations.
+//! Flags: `--jobs N` (parallel sweep workers), `--json`, `--full`
+//! (paper-scale sizes, same as `ACCESYS_FULL=1`).
 
 fn main() {
-    let matrix = if accesys_bench::Scale::from_env() == accesys_bench::Scale::Paper {
-        1024
-    } else {
-        256
-    };
-    accesys_bench::ablations::run_and_print(matrix);
+    let cli = accesys_bench::cli::Cli::from_env("ablations");
+    let value = accesys_bench::ablations::run_cli(&cli);
+    if cli.json {
+        accesys_bench::cli::emit_json(&value);
+    }
 }

@@ -1,6 +1,11 @@
 //! Extension experiment: accelerator-cluster scaling behind the switch.
-//! `ACCESYS_FULL=1` for paper-scale matrix sizes.
+//! Flags: `--jobs N` (parallel sweep workers), `--json`, `--full`
+//! (paper-scale sizes, same as `ACCESYS_FULL=1`).
 
 fn main() {
-    accesys_bench::cluster::run_and_print(accesys_bench::Scale::from_env());
+    let cli = accesys_bench::cli::Cli::from_env("cluster_scaling");
+    let value = accesys_bench::cluster::run_cli(&cli);
+    if cli.json {
+        accesys_bench::cli::emit_json(&value);
+    }
 }

@@ -1,6 +1,11 @@
 //! Extension experiment: PCIe hierarchy vs CXL.mem flit link.
-//! `ACCESYS_FULL=1` for paper-scale matrix sizes.
+//! Flags: `--jobs N` (parallel sweep workers), `--json`, `--full`
+//! (paper-scale sizes, same as `ACCESYS_FULL=1`).
 
 fn main() {
-    accesys_bench::cxl::run_and_print(accesys_bench::Scale::from_env());
+    let cli = accesys_bench::cli::Cli::from_env("cxl_vs_pcie");
+    let value = accesys_bench::cxl::run_cli(&cli);
+    if cli.json {
+        accesys_bench::cli::emit_json(&value);
+    }
 }

@@ -1,6 +1,11 @@
-//! Extension experiment: DRAM energy breakdown and controller-policy
-//! ablation. `ACCESYS_FULL=1` for paper-scale matrix sizes.
+//! Extension experiment: DRAM energy breakdown and controller-policy ablation.
+//! Flags: `--jobs N` (parallel sweep workers), `--json`, `--full`
+//! (paper-scale sizes, same as `ACCESYS_FULL=1`).
 
 fn main() {
-    accesys_bench::energy::run_and_print(accesys_bench::Scale::from_env());
+    let cli = accesys_bench::cli::Cli::from_env("energy");
+    let value = accesys_bench::energy::run_cli(&cli);
+    if cli.json {
+        accesys_bench::cli::emit_json(&value);
+    }
 }

@@ -1,5 +1,11 @@
-//! Regenerate the paper's Fig4 data. `ACCESYS_FULL=1` for paper sizes.
+//! Regenerate the paper's Fig4 data.
+//! Flags: `--jobs N` (parallel sweep workers), `--json`, `--full`
+//! (paper-scale sizes, same as `ACCESYS_FULL=1`).
 
 fn main() {
-    accesys_bench::fig4::run_and_print(accesys_bench::Scale::from_env());
+    let cli = accesys_bench::cli::Cli::from_env("fig4");
+    let value = accesys_bench::fig4::run_cli(&cli);
+    if cli.json {
+        accesys_bench::cli::emit_json(&value);
+    }
 }

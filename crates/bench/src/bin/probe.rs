@@ -1,46 +1,99 @@
 //! Ad-hoc calibration probe (not one of the paper's figures).
+//!
+//! Sweeps PCIe bandwidth × DMA request size over the shared parallel
+//! experiment engine, printing one line per point in sweep order (plus
+//! module-counter diagnostics for any failing configuration). Flags:
+//! `--jobs N`, `--json`. Wall-clock goes to stderr, so stdout is
+//! byte-identical across worker counts.
 
 use accesys::{Simulation, SystemConfig};
+use accesys_bench::cli::Cli;
+use accesys_exp::{Experiment, Grid};
 use accesys_mem::MemTech;
 use accesys_workload::GemmSpec;
 
+/// Outcome of one probed configuration.
+#[derive(Clone, Debug, serde::Serialize)]
+struct ProbePoint {
+    /// Execution time in microseconds, when the run completed.
+    time_us: Option<f64>,
+    /// Failure message, when it did not.
+    error: Option<String>,
+    /// Key module counters captured on failure.
+    diagnostics: Vec<(String, f64)>,
+}
+
+const DIAG_KEYS: [&str; 15] = [
+    "accel0.jobs_done",
+    "dma0.descriptors",
+    "dma0.requests",
+    "pcie.ep0.reads_sent",
+    "pcie.ep0.completions",
+    "pcie.ep0.tag_stalls",
+    "link.ep_up0.credit_stall_tlps",
+    "link.sw_down0.credit_stall_tlps",
+    "link.rc_down.credit_stall_tlps",
+    "link.sw_up.credit_stall_tlps",
+    "link.rc_down.tlps",
+    "link.sw_down0.tlps",
+    "smmu.ptw_count",
+    "host_mem.reads",
+    "kernel.events",
+];
+
+fn probe_one(bw: f64, pkt: u32) -> ProbePoint {
+    let cfg = SystemConfig::pcie_host(bw, MemTech::Ddr4).with_request_bytes(pkt);
+    let mut sim = Simulation::new(cfg).expect("valid config");
+    match sim.run_gemm(GemmSpec::square(256)) {
+        Ok(r) => ProbePoint {
+            time_us: Some(r.total_time_ns() / 1000.0),
+            error: None,
+            diagnostics: Vec::new(),
+        },
+        Err(e) => {
+            let stats = sim.stats();
+            ProbePoint {
+                time_us: None,
+                error: Some(e.to_string()),
+                diagnostics: DIAG_KEYS
+                    .iter()
+                    .map(|&k| (k.to_string(), stats.get_or_zero(k)))
+                    .collect(),
+            }
+        }
+    }
+}
+
 fn main() {
+    let cli = Cli::from_env("probe");
+    let result = Grid::cross2(
+        "probe",
+        [4.0, 8.0, 16.0, 32.0, 64.0],
+        [64u32, 128, 256, 512, 1024, 2048, 4096],
+    )
+    .sweep(|&(bw, pkt)| probe_one(bw, pkt))
+    .run(cli.jobs);
+    accesys_bench::cli::note_wall(&result);
+
     let mut failures = 0u32;
-    for bw in [4.0, 8.0, 16.0, 32.0, 64.0] {
-        for pkt in [64u32, 128, 256, 512, 1024, 2048, 4096] {
-            let cfg = SystemConfig::pcie_host(bw, MemTech::Ddr4).with_request_bytes(pkt);
-            let mut sim = Simulation::new(cfg).expect("valid config");
-            match sim.run_gemm(GemmSpec::square(256)) {
-                Ok(r) => println!(
-                    "bw={bw:>4} pkt={pkt:>5}  t={:>10.1} us",
-                    r.total_time_ns() / 1000.0
-                ),
-                Err(e) => {
-                    failures += 1;
-                    println!("bw={bw:>4} pkt={pkt:>5}  FAILED: {e}");
-                    let stats = sim.stats();
-                    for key in [
-                        "accel0.jobs_done",
-                        "dma0.descriptors",
-                        "dma0.requests",
-                        "pcie.ep0.reads_sent",
-                        "pcie.ep0.completions",
-                        "pcie.ep0.tag_stalls",
-                        "link.ep_up0.credit_stall_tlps",
-                        "link.sw_down0.credit_stall_tlps",
-                        "link.rc_down.credit_stall_tlps",
-                        "link.sw_up.credit_stall_tlps",
-                        "link.rc_down.tlps",
-                        "link.sw_down0.tlps",
-                        "smmu.ptw_count",
-                        "host_mem.reads",
-                        "kernel.events",
-                    ] {
-                        println!("    {key:<36} {}", stats.get_or_zero(key));
+    for ((bw, pkt), point) in &result.points {
+        match &point.time_us {
+            Some(us) if !cli.json => println!("bw={bw:>4} pkt={pkt:>5}  t={us:>10.1} us"),
+            Some(_) => {}
+            None => {
+                failures += 1;
+                if !cli.json {
+                    let msg = point.error.as_deref().unwrap_or("unknown");
+                    println!("bw={bw:>4} pkt={pkt:>5}  FAILED: {msg}");
+                    for (key, value) in &point.diagnostics {
+                        println!("    {key:<36} {value}");
                     }
                 }
             }
         }
+    }
+    if cli.json {
+        accesys_bench::cli::emit_json(&serde::Serialize::to_value(&result));
     }
     // CI uses this bin as a smoke gate: a failing configuration must fail
     // the run, not just print a diagnostic.

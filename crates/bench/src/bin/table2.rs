@@ -1,5 +1,11 @@
 //! Print the Table II baseline configuration.
+//! Flags: `--jobs N` (parallel sweep workers), `--json`, `--full`
+//! (paper-scale sizes, same as `ACCESYS_FULL=1`).
 
 fn main() {
-    accesys_bench::table2::run_and_print();
+    let cli = accesys_bench::cli::Cli::from_env("table2");
+    let value = accesys_bench::table2::run_cli(&cli);
+    if cli.json {
+        accesys_bench::cli::emit_json(&value);
+    }
 }

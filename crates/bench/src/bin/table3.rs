@@ -1,5 +1,11 @@
-//! Print the Table III memory configurations.
+//! Print the Table III memory presets.
+//! Flags: `--jobs N` (parallel sweep workers), `--json`, `--full`
+//! (paper-scale sizes, same as `ACCESYS_FULL=1`).
 
 fn main() {
-    accesys_bench::table3::run_and_print();
+    let cli = accesys_bench::cli::Cli::from_env("table3");
+    let value = accesys_bench::table3::run_cli(&cli);
+    if cli.json {
+        accesys_bench::cli::emit_json(&value);
+    }
 }

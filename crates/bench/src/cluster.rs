@@ -8,13 +8,15 @@
 //! saturation once the shared PCIe uplink (or host memory) becomes the
 //! bottleneck.
 
+use crate::cli::Cli;
 use crate::Scale;
 use accesys::{Simulation, SystemConfig};
+use accesys_exp::{Experiment, Grid, Jobs};
 use accesys_mem::MemTech;
 use accesys_workload::GemmSpec;
 
 /// One cluster-size measurement.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct ClusterRow {
     /// Cluster members.
     pub accels: u32,
@@ -39,31 +41,55 @@ fn sharded_time(cfg: SystemConfig, matrix: u32) -> f64 {
         .total_time_ns()
 }
 
-/// Run the scaling sweep at `scale`.
-pub fn run(scale: Scale) -> Vec<ClusterRow> {
+/// The scaling sweep as a declarative experiment over [`CLUSTER_SIZES`].
+pub fn experiment(scale: Scale) -> impl Experiment<Point = u32, Out = ClusterRow> {
     let matrix = matrix_size(scale);
-    CLUSTER_SIZES
-        .iter()
-        .map(|&n| {
-            // Compute-bound: artificially slow array, ample bandwidth.
-            let mut compute = SystemConfig::pcie_host(64.0, MemTech::Hbm2)
-                .with_accel_count(n)
-                .with_compute_override_ns(20_000.0);
-            compute.smmu = None;
-            // Transfer-bound: default array on a modest shared link.
-            let transfer = SystemConfig::pcie_host(8.0, MemTech::Ddr4).with_accel_count(n);
-            ClusterRow {
-                accels: n,
-                compute_bound_ns: sharded_time(compute, matrix),
-                transfer_bound_ns: sharded_time(transfer, matrix),
-            }
-        })
-        .collect()
+    Grid::new("cluster", CLUSTER_SIZES).sweep(move |&n| {
+        // Compute-bound: artificially slow array, ample bandwidth.
+        let mut compute = SystemConfig::pcie_host(64.0, MemTech::Hbm2)
+            .with_accel_count(n)
+            .with_compute_override_ns(20_000.0);
+        compute.smmu = None;
+        // Transfer-bound: default array on a modest shared link.
+        let transfer = SystemConfig::pcie_host(8.0, MemTech::Ddr4).with_accel_count(n);
+        ClusterRow {
+            accels: n,
+            compute_bound_ns: sharded_time(compute, matrix),
+            transfer_bound_ns: sharded_time(transfer, matrix),
+        }
+    })
+}
+
+/// Run the scaling sweep on `jobs` workers.
+pub fn run_jobs(scale: Scale, jobs: Jobs) -> Vec<ClusterRow> {
+    experiment(scale).run(jobs).into_outputs()
+}
+
+/// Run the scaling sweep at `scale` (worker count from the environment).
+pub fn run(scale: Scale) -> Vec<ClusterRow> {
+    run_jobs(scale, Jobs::from_env())
+}
+
+/// Run at the CLI's settings; print the table unless `--json`; return
+/// the machine-readable sweep value.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment(cli.scale), |r| {
+        print(
+            &r.points.iter().map(|(_, c)| c.clone()).collect::<Vec<_>>(),
+            cli.scale,
+        )
+    })
 }
 
 /// Run and print the scaling table.
 pub fn run_and_print(scale: Scale) -> Vec<ClusterRow> {
     let rows = run(scale);
+    print(&rows, scale);
+    rows
+}
+
+/// Print the scaling table.
+pub fn print(rows: &[ClusterRow], scale: Scale) {
     let base_c = rows[0].compute_bound_ns;
     let base_t = rows[0].transfer_bound_ns;
     println!(
@@ -74,7 +100,7 @@ pub fn run_and_print(scale: Scale) -> Vec<ClusterRow> {
         "{:>7} {:>16} {:>10} {:>17} {:>10}",
         "accels", "compute-bnd (µs)", "speedup", "transfer-bnd (µs)", "speedup"
     );
-    for r in &rows {
+    for r in rows {
         println!(
             "{:>7} {:>16.1} {:>9.2}x {:>17.1} {:>9.2}x",
             r.accels,
@@ -85,7 +111,6 @@ pub fn run_and_print(scale: Scale) -> Vec<ClusterRow> {
         );
     }
     println!("# expected: near-linear compute-bound scaling; transfer-bound saturates on the shared uplink");
-    rows
 }
 
 #[cfg(test)]

@@ -9,13 +9,15 @@
 //! jobs and converges toward the equal-bandwidth PCIe curve as jobs grow
 //! bandwidth-bound.
 
+use crate::cli::Cli;
 use crate::Scale;
 use accesys::{Simulation, SystemConfig};
+use accesys_exp::{Experiment, Grid, Jobs};
 use accesys_mem::MemTech;
 use accesys_workload::GemmSpec;
 
 /// One matrix-size row of the comparison.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct CxlRow {
     /// Square matrix dimension.
     pub matrix: u32,
@@ -42,31 +44,62 @@ fn time_of(cfg: SystemConfig, matrix: u32) -> f64 {
         .total_time_ns()
 }
 
-/// Run the comparison at `scale`.
-pub fn run(scale: Scale) -> Vec<CxlRow> {
+/// The comparison as a declarative experiment over matrix sizes; each
+/// point measures CXL, bandwidth-matched PCIe, and the 2 GB/s baseline.
+pub fn experiment(scale: Scale) -> impl Experiment<Point = u32, Out = CxlRow> {
     let cxl_bw = SystemConfig::cxl_host(8, MemTech::Ddr4)
         .cxl_link
         .payload_bandwidth_gbps();
-    matrix_sizes(scale)
-        .into_iter()
-        .map(|matrix| CxlRow {
-            matrix,
-            cxl_ns: time_of(SystemConfig::cxl_host(8, MemTech::Ddr4), matrix),
-            pcie_equal_ns: time_of(SystemConfig::pcie_host(cxl_bw, MemTech::Ddr4), matrix),
-            pcie_2gb_ns: time_of(SystemConfig::pcie_host(2.0, MemTech::Ddr4), matrix),
-        })
-        .collect()
+    Grid::new("cxl", matrix_sizes(scale)).sweep(move |&matrix| CxlRow {
+        matrix,
+        cxl_ns: time_of(SystemConfig::cxl_host(8, MemTech::Ddr4), matrix),
+        pcie_equal_ns: time_of(SystemConfig::pcie_host(cxl_bw, MemTech::Ddr4), matrix),
+        pcie_2gb_ns: time_of(SystemConfig::pcie_host(2.0, MemTech::Ddr4), matrix),
+    })
+}
+
+/// Run the comparison on `jobs` workers.
+pub fn run_jobs(scale: Scale, jobs: Jobs) -> Vec<CxlRow> {
+    experiment(scale).run(jobs).into_outputs()
+}
+
+/// Run the comparison at `scale` (worker count from the environment).
+pub fn run(scale: Scale) -> Vec<CxlRow> {
+    run_jobs(scale, Jobs::from_env())
+}
+
+/// Run at the CLI's settings; print the table unless `--json`; return
+/// the machine-readable sweep value.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    let result = experiment(cli.scale).run(cli.jobs);
+    crate::cli::note_wall(&result);
+    if !cli.json {
+        print(
+            &result
+                .points
+                .iter()
+                .map(|(_, r)| r.clone())
+                .collect::<Vec<_>>(),
+        );
+    }
+    serde::Serialize::to_value(&result)
 }
 
 /// Run and print the comparison table.
 pub fn run_and_print(scale: Scale) -> Vec<CxlRow> {
     let rows = run(scale);
+    print(&rows);
+    rows
+}
+
+/// Print the comparison table.
+pub fn print(rows: &[CxlRow]) {
     println!("# CXL vs PCIe (extension): GEMM execution time, DDR4 host memory");
     println!(
         "{:>8} {:>12} {:>14} {:>12} {:>10}",
         "matrix", "CXLx8 (µs)", "PCIe=bw (µs)", "PCIe2GB (µs)", "cxl gain"
     );
-    for r in &rows {
+    for r in rows {
         println!(
             "{:>8} {:>12.1} {:>14.1} {:>12.1} {:>9.2}x",
             r.matrix,
@@ -77,7 +110,6 @@ pub fn run_and_print(scale: Scale) -> Vec<CxlRow> {
         );
     }
     println!("# expected shape: CXL ≥ PCIe at equal bandwidth, gap widest on small jobs");
-    rows
 }
 
 #[cfg(test)]

@@ -7,13 +7,25 @@
 //! policies (page policy, address mapping) the Ramulator-class backend
 //! exposes.
 
+use crate::cli::Cli;
 use crate::Scale;
 use accesys::{MemBackendConfig, Simulation, SystemConfig};
+use accesys_exp::{Experiment, Grid, Jobs};
 use accesys_mem::{AddressMapping, MemTech, PagePolicy};
 use accesys_workload::GemmSpec;
 
+/// The technologies of the energy sweep.
+pub const TECHS: [MemTech; 6] = [
+    MemTech::Ddr3,
+    MemTech::Ddr4,
+    MemTech::Ddr5,
+    MemTech::Gddr6,
+    MemTech::Hbm2,
+    MemTech::Lpddr5,
+];
+
 /// Per-technology energy measurement for one fixed GEMM.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct EnergyRow {
     /// Memory technology.
     pub tech: MemTech,
@@ -30,19 +42,10 @@ pub fn matrix_size(scale: Scale) -> u32 {
     scale.pick(256, 1024)
 }
 
-/// Run the per-technology energy sweep.
-pub fn run(scale: Scale) -> Vec<EnergyRow> {
+/// The energy sweep as a declarative experiment over [`TECHS`].
+pub fn experiment(scale: Scale) -> impl Experiment<Point = MemTech, Out = EnergyRow> {
     let matrix = matrix_size(scale);
-    [
-        MemTech::Ddr3,
-        MemTech::Ddr4,
-        MemTech::Ddr5,
-        MemTech::Gddr6,
-        MemTech::Hbm2,
-        MemTech::Lpddr5,
-    ]
-    .iter()
-    .map(|&tech| {
+    Grid::new("energy", TECHS).sweep(move |&tech| {
         let mut sim = Simulation::new(SystemConfig::pcie_host(16.0, tech)).expect("valid config");
         let report = sim.run_gemm(GemmSpec::square(matrix)).expect("completes");
         EnergyRow {
@@ -52,11 +55,20 @@ pub fn run(scale: Scale) -> Vec<EnergyRow> {
             pj_per_byte: report.dram_pj_per_byte(),
         }
     })
-    .collect()
+}
+
+/// Run the per-technology energy sweep on `jobs` workers.
+pub fn run_jobs(scale: Scale, jobs: Jobs) -> Vec<EnergyRow> {
+    experiment(scale).run(jobs).into_outputs()
+}
+
+/// Run the per-technology energy sweep.
+pub fn run(scale: Scale) -> Vec<EnergyRow> {
+    run_jobs(scale, Jobs::from_env())
 }
 
 /// One page-policy × address-mapping ablation cell.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct PolicyRow {
     /// Row-buffer policy.
     pub policy: PagePolicy,
@@ -68,43 +80,84 @@ pub struct PolicyRow {
     pub row_hits: f64,
 }
 
-/// Run the controller-policy ablation (DDR4 host, fixed GEMM).
-pub fn run_policies(scale: Scale) -> Vec<PolicyRow> {
+/// The controller-policy ablation as a declarative experiment over
+/// page policy × address mapping (DDR4 host, fixed GEMM).
+pub fn policy_experiment(
+    scale: Scale,
+) -> impl Experiment<Point = (PagePolicy, AddressMapping), Out = PolicyRow> {
     let matrix = matrix_size(scale);
-    let mut out = Vec::new();
-    for policy in [PagePolicy::Open, PagePolicy::Closed] {
-        for mapping in [
+    Grid::cross2(
+        "energy_policies",
+        [PagePolicy::Open, PagePolicy::Closed],
+        [
             AddressMapping::LineChannelRowBank,
             AddressMapping::LineChannelLineBank,
             AddressMapping::RowChannelRowBank,
-        ] {
-            let mut dram = MemTech::Ddr4.dram_config();
-            dram.page_policy = policy;
-            dram.mapping = mapping;
-            let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
-            cfg.host_mem = MemBackendConfig::Dram(MemTech::Ddr4);
-            // Rebuild with the custom controller: route through the Simple
-            // path is wrong here, so instead use the tech preset override.
-            let mut sim = Simulation::new(cfg).expect("valid config");
-            // Swap the host DRAM module for one with the ablated policy.
-            let (_, _, host_mem, ..) = sim.debug_handles();
-            sim.kernel_mut()
-                .set_module(host_mem, Box::new(accesys_mem::Dram::new("host_mem", dram)));
-            let report = sim.run_gemm(GemmSpec::square(matrix)).expect("completes");
-            out.push(PolicyRow {
-                policy,
-                mapping,
-                time_ns: report.total_time_ns(),
-                row_hits: report.stats.get_or_zero("host_mem.row_hits"),
-            });
+        ],
+    )
+    .sweep(move |&(policy, mapping)| {
+        let mut dram = MemTech::Ddr4.dram_config();
+        dram.page_policy = policy;
+        dram.mapping = mapping;
+        let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
+        cfg.host_mem = MemBackendConfig::Dram(MemTech::Ddr4);
+        // Rebuild with the custom controller: route through the Simple
+        // path is wrong here, so instead use the tech preset override.
+        let mut sim = Simulation::new(cfg).expect("valid config");
+        // Swap the host DRAM module for one with the ablated policy.
+        let (_, _, host_mem, ..) = sim.debug_handles();
+        sim.kernel_mut()
+            .set_module(host_mem, Box::new(accesys_mem::Dram::new("host_mem", dram)));
+        let report = sim.run_gemm(GemmSpec::square(matrix)).expect("completes");
+        PolicyRow {
+            policy,
+            mapping,
+            time_ns: report.total_time_ns(),
+            row_hits: report.stats.get_or_zero("host_mem.row_hits"),
         }
+    })
+}
+
+/// Run the controller-policy ablation on `jobs` workers.
+pub fn run_policies_jobs(scale: Scale, jobs: Jobs) -> Vec<PolicyRow> {
+    policy_experiment(scale).run(jobs).into_outputs()
+}
+
+/// Run the controller-policy ablation (DDR4 host, fixed GEMM).
+pub fn run_policies(scale: Scale) -> Vec<PolicyRow> {
+    run_policies_jobs(scale, Jobs::from_env())
+}
+
+/// Run at the CLI's settings; print both tables unless `--json`; return
+/// the machine-readable sweep values.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    let energy = experiment(cli.scale).run(cli.jobs);
+    let policies = policy_experiment(cli.scale).run(cli.jobs);
+    crate::cli::note_wall(&energy);
+    crate::cli::note_wall(&policies);
+    let value = serde::Value::Map(vec![
+        ("energy".to_string(), serde::Serialize::to_value(&energy)),
+        (
+            "policies".to_string(),
+            serde::Serialize::to_value(&policies),
+        ),
+    ]);
+    if !cli.json {
+        print(&energy.into_outputs(), &policies.into_outputs(), cli.scale);
     }
-    out
+    value
 }
 
 /// Run and print both tables.
 pub fn run_and_print(scale: Scale) -> (Vec<EnergyRow>, Vec<PolicyRow>) {
     let rows = run(scale);
+    let policies = run_policies(scale);
+    print(&rows, &policies, scale);
+    (rows, policies)
+}
+
+/// Print both tables.
+pub fn print(rows: &[EnergyRow], policies: &[PolicyRow], scale: Scale) {
     println!(
         "# DRAM energy (extension): GEMM matrix {}, 16 GB/s PCIe",
         matrix_size(scale)
@@ -113,7 +166,7 @@ pub fn run_and_print(scale: Scale) -> (Vec<EnergyRow>, Vec<PolicyRow>) {
         "{:>8} {:>11} {:>12} {:>10}",
         "memory", "time (µs)", "energy (µJ)", "pJ/byte"
     );
-    for r in &rows {
+    for r in rows {
         println!(
             "{:>8} {:>11.1} {:>12.2} {:>10.1}",
             r.tech.to_string(),
@@ -123,13 +176,12 @@ pub fn run_and_print(scale: Scale) -> (Vec<EnergyRow>, Vec<PolicyRow>) {
         );
     }
     println!("# expected: HBM2 lowest pJ/byte, DDR3 highest");
-    let policies = run_policies(scale);
     println!("\n# Controller-policy ablation (DDR4):");
     println!(
         "{:>8} {:>22} {:>11} {:>10}",
         "policy", "mapping", "time (µs)", "row hits"
     );
-    for p in &policies {
+    for p in policies {
         println!(
             "{:>8} {:>22} {:>11.1} {:>10.0}",
             format!("{:?}", p.policy),
@@ -139,7 +191,6 @@ pub fn run_and_print(scale: Scale) -> (Vec<EnergyRow>, Vec<PolicyRow>) {
         );
     }
     println!("# expected: open-page + row-bank mapping maximizes row hits for streaming DMA");
-    (rows, policies)
 }
 
 #[cfg(test)]

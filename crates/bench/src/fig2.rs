@@ -3,9 +3,11 @@
 //! The paper reports a compute-bound plateau below ≈1500 ns per tile and
 //! a memory-bound linear region above it.
 
+use crate::cli::Cli;
 use crate::Scale;
 use accesys::analytic::{roofline_knee, RooflinePoint};
 use accesys::{Simulation, SystemConfig};
+use accesys_exp::{Experiment, Grid, Jobs};
 use accesys_mem::MemTech;
 use accesys_workload::GemmSpec;
 
@@ -33,15 +35,42 @@ pub fn measure(compute_ns: f64, matrix: u32) -> RooflinePoint {
     }
 }
 
-/// Run the sweep.
-pub fn run(scale: Scale) -> Vec<RooflinePoint> {
+/// The figure as a declarative experiment over [`COMPUTE_NS`].
+pub fn experiment(scale: Scale) -> impl Experiment<Point = f64, Out = RooflinePoint> {
     let matrix = matrix_size(scale);
-    COMPUTE_NS.iter().map(|&c| measure(c, matrix)).collect()
+    Grid::new("fig2", COMPUTE_NS).sweep(move |&c| measure(c, matrix))
+}
+
+/// Run the sweep on `jobs` workers.
+pub fn run_jobs(scale: Scale, jobs: Jobs) -> Vec<RooflinePoint> {
+    experiment(scale).run(jobs).into_outputs()
+}
+
+/// Run the sweep (worker count from the environment).
+pub fn run(scale: Scale) -> Vec<RooflinePoint> {
+    run_jobs(scale, Jobs::from_env())
+}
+
+/// Run at the CLI's settings; print the table unless `--json`; return
+/// the machine-readable sweep value.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment(cli.scale), |r| {
+        print(
+            &r.points.iter().map(|(_, p)| *p).collect::<Vec<_>>(),
+            cli.scale,
+        )
+    })
 }
 
 /// Run and print the figure's series.
 pub fn run_and_print(scale: Scale) -> Vec<RooflinePoint> {
     let points = run(scale);
+    print(&points, scale);
+    points
+}
+
+/// Print the figure's series.
+pub fn print(points: &[RooflinePoint], scale: Scale) {
     let min = points
         .iter()
         .map(|p| p.exec_ns)
@@ -54,7 +83,7 @@ pub fn run_and_print(scale: Scale) -> Vec<RooflinePoint> {
         "{:>14} {:>14} {:>12}",
         "compute(ns)", "exec(us)", "normalized"
     );
-    for p in &points {
+    for p in points {
         println!(
             "{:>14.0} {:>14.1} {:>12.3}",
             p.compute_ns,
@@ -62,10 +91,9 @@ pub fn run_and_print(scale: Scale) -> Vec<RooflinePoint> {
             p.exec_ns / min
         );
     }
-    if let Some(knee) = roofline_knee(&points, 0.05) {
+    if let Some(knee) = roofline_knee(points, 0.05) {
         println!("# memory-bound/compute-bound knee at ~{knee:.0} ns (paper: ~1500 ns)");
     }
-    points
 }
 
 #[cfg(test)]

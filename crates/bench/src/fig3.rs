@@ -3,8 +3,10 @@
 //! system turns compute-bound at 16 lanes, with the best configuration
 //! up to ~11× faster than the worst.
 
+use crate::cli::Cli;
 use crate::Scale;
 use accesys::{Simulation, SystemConfig};
+use accesys_exp::{Experiment, Grid, Jobs};
 use accesys_mem::MemTech;
 use accesys_workload::GemmSpec;
 
@@ -40,19 +42,39 @@ pub fn measure(lanes: u32, lane_gbps: f64, matrix: u32) -> f64 {
         .total_time_ns()
 }
 
-/// Run the sweep.
-pub fn run(scale: Scale) -> Vec<LaneCurve> {
+/// The figure as a declarative experiment over [`LANES`] × [`LANE_GBPS`].
+pub fn experiment(scale: Scale) -> impl Experiment<Point = (u32, f64), Out = f64> {
     let matrix = matrix_size(scale);
-    LANES
-        .iter()
-        .map(|&lanes| LaneCurve {
-            lanes,
-            points: LANE_GBPS
-                .iter()
-                .map(|&g| (g, measure(lanes, g, matrix)))
-                .collect(),
+    Grid::cross2("fig3", LANES, LANE_GBPS).sweep(move |&(lanes, g)| measure(lanes, g, matrix))
+}
+
+fn curves(points: &[((u32, f64), f64)]) -> Vec<LaneCurve> {
+    // cross2 is row-major: one contiguous chunk of points per lane count.
+    points
+        .chunks(LANE_GBPS.len())
+        .map(|chunk| LaneCurve {
+            lanes: chunk[0].0 .0,
+            points: chunk.iter().map(|&((_, g), t)| (g, t)).collect(),
         })
         .collect()
+}
+
+/// Run the sweep on `jobs` workers.
+pub fn run_jobs(scale: Scale, jobs: Jobs) -> Vec<LaneCurve> {
+    curves(&experiment(scale).run(jobs).points)
+}
+
+/// Run the sweep (worker count from the environment).
+pub fn run(scale: Scale) -> Vec<LaneCurve> {
+    run_jobs(scale, Jobs::from_env())
+}
+
+/// Run at the CLI's settings; print the table unless `--json`; return
+/// the machine-readable sweep value.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment(cli.scale), |r| {
+        print(&curves(&r.points), cli.scale)
+    })
 }
 
 /// Best-to-worst execution-time ratio across the whole grid.
@@ -71,27 +93,32 @@ pub fn spread(curves: &[LaneCurve]) -> f64 {
 /// Run and print the figure's series.
 pub fn run_and_print(scale: Scale) -> Vec<LaneCurve> {
     let curves = run(scale);
+    print(&curves, scale);
+    curves
+}
+
+/// Print the figure's series.
+pub fn print(curves: &[LaneCurve], scale: Scale) {
     println!(
         "# Fig 3: execution time (us) vs per-lane rate, matrix {}",
         matrix_size(scale)
     );
     print!("{:>12}", "lane Gb/s");
-    for c in &curves {
+    for c in curves {
         print!("{:>12}", format!("{} lanes", c.lanes));
     }
     println!();
     for (i, &g) in LANE_GBPS.iter().enumerate() {
         print!("{g:>12}");
-        for c in &curves {
+        for c in curves {
             print!("{:>12.1}", c.points[i].1 / 1000.0);
         }
         println!();
     }
     println!(
         "# best/worst spread: {:.1}x (paper: up to ~11x / 1109.9%)",
-        spread(&curves)
+        spread(curves)
     );
-    curves
 }
 
 #[cfg(test)]

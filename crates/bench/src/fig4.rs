@@ -3,8 +3,10 @@
 //! 256 B: tiny packets pay per-TLP header and TLP-rate overhead, huge
 //! packets exhaust per-hop credits and stretch completion round-trips.
 
+use crate::cli::Cli;
 use crate::Scale;
 use accesys::{Simulation, SystemConfig};
+use accesys_exp::{Experiment, Grid, Jobs};
 use accesys_mem::MemTech;
 use accesys_workload::GemmSpec;
 
@@ -65,41 +67,68 @@ pub fn measure(bandwidth_gbps: f64, packet_bytes: u32, matrix: u32) -> f64 {
         .total_time_ns()
 }
 
-/// Run the full sweep.
-pub fn run(scale: Scale) -> Vec<PacketCurve> {
+/// The figure as a declarative experiment over [`BANDWIDTHS`] ×
+/// [`PACKET_SIZES`].
+pub fn experiment(scale: Scale) -> impl Experiment<Point = (f64, u32), Out = f64> {
     let matrix = matrix_size(scale);
-    BANDWIDTHS
-        .iter()
-        .map(|&bw| PacketCurve {
-            bandwidth_gbps: bw,
-            points: PACKET_SIZES
-                .iter()
-                .map(|&p| (p, measure(bw, p, matrix)))
-                .collect(),
+    Grid::cross2("fig4", BANDWIDTHS, PACKET_SIZES).sweep(move |&(bw, p)| measure(bw, p, matrix))
+}
+
+fn curves(points: &[((f64, u32), f64)]) -> Vec<PacketCurve> {
+    // cross2 is row-major: one contiguous chunk of points per bandwidth.
+    points
+        .chunks(PACKET_SIZES.len())
+        .map(|chunk| PacketCurve {
+            bandwidth_gbps: chunk[0].0 .0,
+            points: chunk.iter().map(|&((_, p), t)| (p, t)).collect(),
         })
         .collect()
+}
+
+/// Run the sweep on `jobs` workers.
+pub fn run_jobs(scale: Scale, jobs: Jobs) -> Vec<PacketCurve> {
+    curves(&experiment(scale).run(jobs).points)
+}
+
+/// Run the full sweep (worker count from the environment).
+pub fn run(scale: Scale) -> Vec<PacketCurve> {
+    run_jobs(scale, Jobs::from_env())
+}
+
+/// Run at the CLI's settings; print the table unless `--json`; return
+/// the machine-readable sweep value.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment(cli.scale), |r| {
+        print(&curves(&r.points), cli.scale)
+    })
 }
 
 /// Run and print the figure's series.
 pub fn run_and_print(scale: Scale) -> Vec<PacketCurve> {
     let curves = run(scale);
+    print(&curves, scale);
+    curves
+}
+
+/// Print the figure's series.
+pub fn print(curves: &[PacketCurve], scale: Scale) {
     println!(
         "# Fig 4: execution time (us) vs packet size, matrix {}",
         matrix_size(scale)
     );
     print!("{:>10}", "pkt(B)");
-    for c in &curves {
+    for c in curves {
         print!("{:>12}", format!("{}GB/s", c.bandwidth_gbps));
     }
     println!();
     for (i, &p) in PACKET_SIZES.iter().enumerate() {
         print!("{p:>10}");
-        for c in &curves {
+        for c in curves {
             print!("{:>12.1}", c.points[i].1 / 1000.0);
         }
         println!();
     }
-    for c in &curves {
+    for c in curves {
         println!(
             "# {} GB/s: optimum {} B, 64 B +{:.0}%, 4096 B +{:.0}%",
             c.bandwidth_gbps,
@@ -108,7 +137,6 @@ pub fn run_and_print(scale: Scale) -> Vec<PacketCurve> {
             c.overhead_at(4096) * 100.0
         );
     }
-    curves
 }
 
 #[cfg(test)]

@@ -3,8 +3,10 @@
 //! device-side winning across the board, with a 64 GB/s PCIe host
 //! configuration reaching ≈78 % of device-side performance.
 
+use crate::cli::Cli;
 use crate::Scale;
 use accesys::{Simulation, SystemConfig};
+use accesys_exp::{Experiment, Grid, Jobs};
 use accesys_mem::MemTech;
 use accesys_workload::GemmSpec;
 
@@ -17,7 +19,7 @@ pub const TECHS: [MemTech; 4] = [
 ];
 
 /// One measurement triple for a memory technology.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct MemRow {
     /// Memory technology.
     pub tech: MemTech,
@@ -41,23 +43,48 @@ fn run_one(cfg: SystemConfig, matrix: u32) -> f64 {
         .total_time_ns()
 }
 
-/// Run the comparison.
-pub fn run(scale: Scale) -> Vec<MemRow> {
+/// The figure as a declarative experiment over [`TECHS`]; each point
+/// measures the device-side and both host-side placements.
+pub fn experiment(scale: Scale) -> impl Experiment<Point = MemTech, Out = MemRow> {
     let matrix = matrix_size(scale);
-    TECHS
-        .iter()
-        .map(|&tech| MemRow {
-            tech,
-            device_ns: run_one(SystemConfig::devmem(tech), matrix),
-            host_2gb_ns: run_one(SystemConfig::pcie_host(2.0, tech), matrix),
-            host_64gb_ns: run_one(SystemConfig::pcie_host(64.0, tech), matrix),
-        })
-        .collect()
+    Grid::new("fig5", TECHS).sweep(move |&tech| MemRow {
+        tech,
+        device_ns: run_one(SystemConfig::devmem(tech), matrix),
+        host_2gb_ns: run_one(SystemConfig::pcie_host(2.0, tech), matrix),
+        host_64gb_ns: run_one(SystemConfig::pcie_host(64.0, tech), matrix),
+    })
+}
+
+/// Run the comparison on `jobs` workers.
+pub fn run_jobs(scale: Scale, jobs: Jobs) -> Vec<MemRow> {
+    experiment(scale).run(jobs).into_outputs()
+}
+
+/// Run the comparison (worker count from the environment).
+pub fn run(scale: Scale) -> Vec<MemRow> {
+    run_jobs(scale, Jobs::from_env())
+}
+
+/// Run at the CLI's settings; print the table unless `--json`; return
+/// the machine-readable sweep value.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment(cli.scale), |r| {
+        print(
+            &r.points.iter().map(|(_, m)| m.clone()).collect::<Vec<_>>(),
+            cli.scale,
+        )
+    })
 }
 
 /// Run and print normalized speedups (reference: DDR4 device-side).
 pub fn run_and_print(scale: Scale) -> Vec<MemRow> {
     let rows = run(scale);
+    print(&rows, scale);
+    rows
+}
+
+/// Print normalized speedups (reference: DDR4 device-side).
+pub fn print(rows: &[MemRow], scale: Scale) {
     let reference = rows
         .iter()
         .find(|r| r.tech == MemTech::Ddr4)
@@ -71,7 +98,7 @@ pub fn run_and_print(scale: Scale) -> Vec<MemRow> {
         "{:>10} {:>12} {:>12} {:>12} {:>16}",
         "memory", "device", "host@2GB/s", "host@64GB/s", "host64/device"
     );
-    for r in &rows {
+    for r in rows {
         println!(
             "{:>10} {:>12.3} {:>12.3} {:>12.3} {:>15.1}%",
             r.tech.to_string(),
@@ -82,7 +109,6 @@ pub fn run_and_print(scale: Scale) -> Vec<MemRow> {
         );
     }
     println!("# paper: host@64GB/s reaches ~78% of device-side");
-    rows
 }
 
 #[cfg(test)]

@@ -3,8 +3,10 @@
 //! reports large gains up to ≈50 GB/s then a plateau (bandwidth), and a
 //! total overhead of only ≈5 % across a 1–36 ns latency sweep.
 
+use crate::cli::Cli;
 use crate::Scale;
 use accesys::{MemBackendConfig, Simulation, SystemConfig};
+use accesys_exp::{Experiment, Grid, Jobs};
 use accesys_mem::SimpleMemoryConfig;
 use accesys_workload::GemmSpec;
 
@@ -40,28 +42,67 @@ pub fn measure(bandwidth_gbps: f64, latency_ns: f64, matrix: u32) -> f64 {
         .total_time_ns()
 }
 
+/// Panel (a) as a declarative experiment: bandwidth sweep, latency
+/// pinned at 18 ns.
+pub fn bandwidth_experiment(scale: Scale) -> impl Experiment<Point = f64, Out = f64> {
+    let matrix = matrix_size(scale);
+    Grid::new("fig6a_bandwidth", BANDWIDTHS).sweep(move |&bw| measure(bw, 18.0, matrix))
+}
+
+/// Panel (b) as a declarative experiment: latency sweep, bandwidth
+/// pinned at 64 GB/s.
+pub fn latency_experiment(scale: Scale) -> impl Experiment<Point = f64, Out = f64> {
+    let matrix = matrix_size(scale);
+    Grid::new("fig6b_latency", LATENCIES).sweep(move |&lat| measure(64.0, lat, matrix))
+}
+
+/// Run the bandwidth sweep on `jobs` workers (latency pinned at 18 ns).
+pub fn run_bandwidth_jobs(scale: Scale, jobs: Jobs) -> Sweep {
+    bandwidth_experiment(scale).run(jobs).points
+}
+
 /// Run the bandwidth sweep (latency pinned at 18 ns).
 pub fn run_bandwidth(scale: Scale) -> Sweep {
-    let matrix = matrix_size(scale);
-    BANDWIDTHS
-        .iter()
-        .map(|&bw| (bw, measure(bw, 18.0, matrix)))
-        .collect()
+    run_bandwidth_jobs(scale, Jobs::from_env())
+}
+
+/// Run the latency sweep on `jobs` workers (bandwidth pinned at 64 GB/s).
+pub fn run_latency_jobs(scale: Scale, jobs: Jobs) -> Sweep {
+    latency_experiment(scale).run(jobs).points
 }
 
 /// Run the latency sweep (bandwidth pinned at 64 GB/s).
 pub fn run_latency(scale: Scale) -> Sweep {
-    let matrix = matrix_size(scale);
-    LATENCIES
-        .iter()
-        .map(|&lat| (lat, measure(64.0, lat, matrix)))
-        .collect()
+    run_latency_jobs(scale, Jobs::from_env())
+}
+
+/// Run at the CLI's settings; print both panels unless `--json`; return
+/// the machine-readable sweep values.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    let bw = bandwidth_experiment(cli.scale).run(cli.jobs);
+    let lat = latency_experiment(cli.scale).run(cli.jobs);
+    crate::cli::note_wall(&bw);
+    crate::cli::note_wall(&lat);
+    let value = serde::Value::Map(vec![
+        ("bandwidth".to_string(), serde::Serialize::to_value(&bw)),
+        ("latency".to_string(), serde::Serialize::to_value(&lat)),
+    ]);
+    if !cli.json {
+        print(&bw.points, &lat.points, cli.scale);
+    }
+    value
 }
 
 /// Run and print both panels.
 pub fn run_and_print(scale: Scale) -> (Sweep, Sweep) {
     let bw = run_bandwidth(scale);
     let lat = run_latency(scale);
+    print(&bw, &lat, scale);
+    (bw, lat)
+}
+
+/// Print both panels.
+pub fn print(bw: &Sweep, lat: &Sweep, scale: Scale) {
     println!(
         "# Fig 6a: memory bandwidth sweep, matrix {}",
         matrix_size(scale)
@@ -71,7 +112,7 @@ pub fn run_and_print(scale: Scale) -> (Sweep, Sweep) {
         "BW (GB/s)", "exec (us)", "normalized"
     );
     let worst = bw.first().expect("nonempty").1;
-    for &(b, t) in &bw {
+    for &(b, t) in bw {
         println!("{b:>12} {:>14.1} {:>12.3}", t / 1000.0, t / worst);
     }
     let best = bw.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
@@ -86,7 +127,7 @@ pub fn run_and_print(scale: Scale) -> (Sweep, Sweep) {
         "lat (ns)", "exec (us)", "normalized"
     );
     let base = lat.first().expect("nonempty").1;
-    for &(l, t) in &lat {
+    for &(l, t) in lat {
         println!("{l:>12} {:>14.1} {:>12.3}", t / 1000.0, t / base);
     }
     let worst_lat = lat.iter().map(|&(_, t)| t).fold(0.0f64, f64::max);
@@ -94,7 +135,6 @@ pub fn run_and_print(scale: Scale) -> (Sweep, Sweep) {
         "# latency overhead across sweep: {:.1}% (paper: ~4.9%)",
         100.0 * (worst_lat / base - 1.0)
     );
-    (bw, lat)
 }
 
 #[cfg(test)]

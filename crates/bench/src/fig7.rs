@@ -7,13 +7,15 @@
 //! * Fig. 8: DevMem has the best GEMM time but up to ~5× worse Non-GEMM
 //!   time (NUMA access from the CPU to device memory).
 
+use crate::cli::Cli;
 use crate::Scale;
 use accesys::{Simulation, SystemConfig, VitReport};
+use accesys_exp::{Experiment, Grid, Jobs};
 use accesys_mem::MemTech;
 use accesys_workload::VitModel;
 
 /// The four systems of Section V-C.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
 pub enum SystemKind {
     /// Host memory, 2 GB/s PCIe, DDR4, 256 B packets.
     Pcie2,
@@ -62,7 +64,7 @@ impl SystemKind {
 }
 
 /// One (model, system) measurement.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct VitCell {
     /// The ViT variant.
     pub model: VitModel,
@@ -95,28 +97,56 @@ pub fn measure(model: VitModel, system: SystemKind) -> VitCell {
     }
 }
 
-/// Run the grid.
+/// The figure as a declarative experiment over model × system.
+pub fn experiment(scale: Scale) -> impl Experiment<Point = (VitModel, SystemKind), Out = VitCell> {
+    Grid::cross2("fig7", models(scale), SystemKind::ALL)
+        .sweep(|&(model, system)| measure(model, system))
+}
+
+/// Run the grid on `jobs` workers.
+pub fn run_jobs(scale: Scale, jobs: Jobs) -> Vec<VitCell> {
+    experiment(scale).run(jobs).into_outputs()
+}
+
+/// Run the grid (worker count from the environment).
 pub fn run(scale: Scale) -> Vec<VitCell> {
-    let mut cells = Vec::new();
-    for model in models(scale) {
-        for system in SystemKind::ALL {
-            cells.push(measure(model, system));
-        }
+    run_jobs(scale, Jobs::from_env())
+}
+
+/// Run at the CLI's settings; print the tables unless `--json`; return
+/// the machine-readable sweep value.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    let result = experiment(cli.scale).run(cli.jobs);
+    crate::cli::note_wall(&result);
+    if !cli.json {
+        print(
+            &result
+                .points
+                .iter()
+                .map(|(_, c)| c.clone())
+                .collect::<Vec<_>>(),
+        );
     }
-    cells
+    serde::Serialize::to_value(&result)
 }
 
 /// Run and print Fig. 7 (total speedups) and Fig. 8 (GEMM / Non-GEMM
 /// split).
 pub fn run_and_print(scale: Scale) -> Vec<VitCell> {
     let cells = run(scale);
+    print(&cells);
+    cells
+}
+
+/// Print Fig. 7 and Fig. 8 from measured cells.
+pub fn print(cells: &[VitCell]) {
     println!("# Fig 7: ViT inference time (one layer x layers), speedup vs PCIe-2GB");
     println!(
         "{:>10} {:>11} {:>12} {:>10}",
         "model", "system", "total (ms)", "speedup"
     );
     let mut seen = Vec::new();
-    for c in &cells {
+    for c in cells {
         if !seen.contains(&c.model) {
             seen.push(c.model);
         }
@@ -144,7 +174,7 @@ pub fn run_and_print(scale: Scale) -> Vec<VitCell> {
         "{:>10} {:>11} {:>12} {:>12} {:>14}",
         "model", "system", "gemm", "non-gemm", "non-gemm frac"
     );
-    for c in &cells {
+    for c in cells {
         println!(
             "{:>10} {:>11} {:>12.1} {:>12.1} {:>13.1}%",
             c.model.to_string(),
@@ -155,7 +185,6 @@ pub fn run_and_print(scale: Scale) -> Vec<VitCell> {
         );
     }
     println!("# paper: DevMem best at GEMM, up to ~500% Non-GEMM overhead vs PCIe systems");
-    cells
 }
 
 #[cfg(test)]

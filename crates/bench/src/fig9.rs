@@ -4,13 +4,15 @@
 //! times. The paper reports DevMem preferable when W_GEMM exceeds
 //! 34.31 % (2 GB/s), 10.16 % (8 GB/s) and 4.27 % (64 GB/s).
 
-use crate::fig7::{measure, SystemKind};
+use crate::cli::Cli;
+use crate::fig7::{measure, SystemKind, VitCell};
 use crate::Scale;
 use accesys::analytic::{PhaseTimes, ThresholdModel};
+use accesys_exp::{Experiment, Grid, Jobs};
 use accesys_workload::VitModel;
 
 /// One bandwidth's fitted model and threshold.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct ThresholdRow {
     /// The PCIe system compared against DevMem.
     pub system: SystemKind,
@@ -23,18 +25,27 @@ pub struct ThresholdRow {
     pub non_gemm_crossover: Option<f64>,
 }
 
-/// Measure phase times and fit the model for each PCIe bandwidth.
-pub fn run(_scale: Scale) -> Vec<ThresholdRow> {
-    let vit = VitModel::Base;
-    let dev = measure(vit, SystemKind::DevMem);
+/// The figure's measurement phase as a declarative experiment: one
+/// ViT-Base layer on each of the four systems (the analytic fit is
+/// cheap post-processing over the collected phase times).
+pub fn experiment(_scale: Scale) -> impl Experiment<Point = SystemKind, Out = VitCell> {
+    Grid::new("fig9", SystemKind::ALL).sweep(|&system| measure(VitModel::Base, system))
+}
+
+/// Fit the Section V-D model for each PCIe system against DevMem.
+pub fn fit(cells: &[VitCell]) -> Vec<ThresholdRow> {
+    let dev = cells
+        .iter()
+        .find(|c| c.system == SystemKind::DevMem)
+        .expect("DevMem measured");
     let dev_phase = PhaseTimes {
         gemm_ns: dev.report.gemm_ns(),
         non_gemm_ns: dev.report.non_gemm_ns(),
     };
-    [SystemKind::Pcie2, SystemKind::Pcie8, SystemKind::Pcie64]
-        .into_iter()
-        .map(|system| {
-            let host = measure(vit, system);
+    cells
+        .iter()
+        .filter(|c| c.system != SystemKind::DevMem)
+        .map(|host| {
             let model = ThresholdModel {
                 pcie: PhaseTimes {
                     gemm_ns: host.report.gemm_ns(),
@@ -44,7 +55,7 @@ pub fn run(_scale: Scale) -> Vec<ThresholdRow> {
                 t_other_ns: host.report.other_ns().min(dev.report.other_ns()),
             };
             ThresholdRow {
-                system,
+                system: host.system,
                 gemm_threshold: model.devmem_wins_above_gemm_fraction(),
                 non_gemm_crossover: model.crossover_non_gemm_fraction(),
                 model,
@@ -53,12 +64,49 @@ pub fn run(_scale: Scale) -> Vec<ThresholdRow> {
         .collect()
 }
 
+/// Measure phase times on `jobs` workers and fit the model for each
+/// PCIe bandwidth.
+pub fn run_jobs(scale: Scale, jobs: Jobs) -> Vec<ThresholdRow> {
+    fit(&experiment(scale).run(jobs).into_outputs())
+}
+
+/// Measure and fit (worker count from the environment).
+pub fn run(scale: Scale) -> Vec<ThresholdRow> {
+    run_jobs(scale, Jobs::from_env())
+}
+
+/// Run at the CLI's settings; print the series unless `--json`; return
+/// the machine-readable sweep value (measured points plus fitted rows).
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    let result = experiment(cli.scale).run(cli.jobs);
+    crate::cli::note_wall(&result);
+    let rows = fit(&result
+        .points
+        .iter()
+        .map(|(_, c)| c.clone())
+        .collect::<Vec<_>>());
+    let mut value = serde::Serialize::to_value(&result);
+    if let serde::Value::Map(entries) = &mut value {
+        entries.push(("rows".to_string(), serde::Serialize::to_value(&rows)));
+    }
+    if !cli.json {
+        print(&rows);
+    }
+    value
+}
+
 /// Run and print the Fig. 9 series and thresholds.
 pub fn run_and_print(scale: Scale) -> Vec<ThresholdRow> {
     let rows = run(scale);
+    print(&rows);
+    rows
+}
+
+/// Print the Fig. 9 series and thresholds.
+pub fn print(rows: &[ThresholdRow]) {
     println!("# Fig 9: total time (us) vs Non-GEMM fraction (ViT-Base phase times)");
     print!("{:>10}", "w_nonG");
-    for r in &rows {
+    for r in rows {
         print!("{:>12}", r.system.label());
     }
     print!("{:>12}", "DevMem");
@@ -72,7 +120,7 @@ pub fn run_and_print(scale: Scale) -> Vec<ThresholdRow> {
         print!("{:>12.1}", sweeps[0][i].2 / 1000.0);
         println!();
     }
-    for r in &rows {
+    for r in rows {
         match (r.non_gemm_crossover, r.gemm_threshold) {
             (Some(w), Some(g)) => println!(
                 "# vs {}: DevMem wins when Non-GEMM fraction < {:.2}% (W_GEMM > {:.2}%)",
@@ -85,7 +133,6 @@ pub fn run_and_print(scale: Scale) -> Vec<ThresholdRow> {
     }
     println!("# paper thresholds: 34.31% (2 GB/s), 10.16% (8 GB/s), 4.27% (64 GB/s),");
     println!("# decreasing with bandwidth on the Fig. 9 Non-GEMM-fraction axis.");
-    rows
 }
 
 #[cfg(test)]

@@ -10,8 +10,17 @@
 //! Workload sizes are scaled by default so the whole suite regenerates in
 //! minutes; set `ACCESYS_FULL=1` (or pass [`Scale::Paper`]) to run the
 //! paper's exact sizes.
+//!
+//! Every driver routes its sweep through the shared
+//! [`accesys_exp::Experiment`]/[`accesys_exp::Grid`] engine, so all the
+//! bins accept `--jobs N` (parallel sweep workers, default all cores)
+//! and `--json` (machine-readable output) — see [`cli`]. Sweep outputs
+//! are collected in point order and are byte-identical regardless of
+//! the worker count.
+#![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cli;
 pub mod cluster;
 pub mod cxl;
 pub mod energy;

@@ -1,10 +1,22 @@
 //! Table II — the baseline system configuration.
 
+use crate::cli::Cli;
 use accesys::{MemBackendConfig, SystemConfig};
+use accesys_exp::{Experiment, Grid};
+
+/// The table as a (single-point) declarative experiment: the point is
+/// the baseline config, the measurement renders its rows.
+pub fn experiment() -> impl Experiment<Point = SystemConfig, Out = Vec<(String, String)>> {
+    Grid::new("table2", [SystemConfig::paper_baseline()]).sweep(rows_of)
+}
 
 /// Render the baseline configuration as Table II rows.
 pub fn rows() -> Vec<(String, String)> {
-    let cfg = SystemConfig::paper_baseline();
+    rows_of(&SystemConfig::paper_baseline())
+}
+
+/// Render any configuration as Table II rows.
+pub fn rows_of(cfg: &SystemConfig) -> Vec<(String, String)> {
     let mem = match cfg.host_mem {
         MemBackendConfig::Dram(t) => format!(
             "{t} {} MT/s, {} GB/s",
@@ -48,6 +60,19 @@ pub fn rows() -> Vec<(String, String)> {
             format!("{} ns latency", cfg.pcie.switch.latency_ns),
         ),
     ]
+}
+
+/// Run at the CLI's settings; print the table unless `--json`; return
+/// the machine-readable value.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment(), |r| {
+        println!("# Table II: system configuration");
+        for (_, rows) in &r.points {
+            for (k, v) in rows {
+                println!("{k:<22} {v}");
+            }
+        }
+    })
 }
 
 /// Print Table II.

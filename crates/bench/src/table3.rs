@@ -1,6 +1,42 @@
 //! Table III — memory technology configurations.
 
+use crate::cli::Cli;
+use accesys_exp::{Experiment, Grid};
 use accesys_mem::MemTech;
+
+/// One row of Table III, rendered from a technology preset.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TechRow {
+    /// Memory technology.
+    pub tech: MemTech,
+    /// Channel count.
+    pub channels: u32,
+    /// Per-channel data width in bits.
+    pub data_width_bits: u32,
+    /// Aggregate bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Data rate in MT/s.
+    pub data_rate_mts: u32,
+}
+
+/// The table as a declarative experiment over [`TECHS`].
+pub fn experiment() -> impl Experiment<Point = MemTech, Out = TechRow> {
+    Grid::new("table3", TECHS).sweep(|&tech| TechRow {
+        tech,
+        channels: tech.channels(),
+        data_width_bits: tech.data_width_bits(),
+        bandwidth_gbps: tech.bandwidth_gbps(),
+        data_rate_mts: tech.data_rate_mts(),
+    })
+}
+
+/// Run at the CLI's settings; print the table unless `--json`; return
+/// the machine-readable value.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment(), |r| {
+        print(&r.points.iter().map(|(_, t)| t.clone()).collect::<Vec<_>>())
+    })
+}
 
 /// The technologies listed by the paper's Table III.
 pub const TECHS: [MemTech; 5] = [
@@ -13,19 +49,35 @@ pub const TECHS: [MemTech; 5] = [
 
 /// Print Table III from the presets.
 pub fn run_and_print() {
+    print(
+        &TECHS
+            .iter()
+            .map(|&tech| TechRow {
+                tech,
+                channels: tech.channels(),
+                data_width_bits: tech.data_width_bits(),
+                bandwidth_gbps: tech.bandwidth_gbps(),
+                data_rate_mts: tech.data_rate_mts(),
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Print Table III rows.
+pub fn print(rows: &[TechRow]) {
     println!("# Table III: memory configuration");
     println!(
         "{:>8} {:>9} {:>12} {:>12} {:>11}",
         "tech", "channels", "width(bit)", "BW(GB/s)", "rate(MT/s)"
     );
-    for t in TECHS {
+    for r in rows {
         println!(
             "{:>8} {:>9} {:>12} {:>12.1} {:>11}",
-            t.to_string(),
-            t.channels(),
-            t.data_width_bits(),
-            t.bandwidth_gbps(),
-            t.data_rate_mts()
+            r.tech.to_string(),
+            r.channels,
+            r.data_width_bits,
+            r.bandwidth_gbps,
+            r.data_rate_mts
         );
     }
 }

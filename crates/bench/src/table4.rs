@@ -4,14 +4,16 @@
 //! paper reports a U-shaped overhead: high for tiny matrices (fixed costs
 //! dominate), minimal near 1024, rising again at 2048 (µTLB thrash).
 
+use crate::cli::Cli;
 use crate::Scale;
 use accesys::{Simulation, SystemConfig};
+use accesys_exp::{Experiment, Grid, Jobs};
 use accesys_mem::MemTech;
 use accesys_smmu::SmmuStats;
 use accesys_workload::GemmSpec;
 
 /// One row of the table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct TranslationRow {
     /// Matrix size (m = n = k).
     pub matrix: u32,
@@ -53,23 +55,56 @@ pub fn measure(matrix: u32) -> TranslationRow {
     }
 }
 
-/// Run all rows.
+/// The table as a declarative experiment over matrix sizes.
+pub fn experiment(scale: Scale) -> impl Experiment<Point = u32, Out = TranslationRow> {
+    Grid::new("table4", matrix_sizes(scale)).sweep(|&matrix| measure(matrix))
+}
+
+/// Run all rows on `jobs` workers.
+pub fn run_jobs(scale: Scale, jobs: Jobs) -> Vec<TranslationRow> {
+    experiment(scale).run(jobs).into_outputs()
+}
+
+/// Run all rows (worker count from the environment).
 pub fn run(scale: Scale) -> Vec<TranslationRow> {
-    matrix_sizes(scale).into_iter().map(measure).collect()
+    run_jobs(scale, Jobs::from_env())
+}
+
+/// Run at the CLI's settings; print the table unless `--json`; return
+/// the machine-readable sweep value.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    let result = experiment(cli.scale).run(cli.jobs);
+    crate::cli::note_wall(&result);
+    if !cli.json {
+        print(
+            &result
+                .points
+                .iter()
+                .map(|(_, r)| r.clone())
+                .collect::<Vec<_>>(),
+        );
+    }
+    serde::Serialize::to_value(&result)
 }
 
 /// Run and print the table (times in CPU cycles at 1 GHz = ns).
 pub fn run_and_print(scale: Scale) -> Vec<TranslationRow> {
     let rows = run(scale);
+    print(&rows);
+    rows
+}
+
+/// Print the table.
+pub fn print(rows: &[TranslationRow]) {
     println!("# Table IV: address translation vs matrix size");
     print!("{:<22}", "Metric");
-    for r in &rows {
+    for r in rows {
         print!("{:>14}", r.matrix);
     }
     println!();
     let line = |name: &str, f: &dyn Fn(&TranslationRow) -> String| {
         print!("{name:<22}");
-        for r in &rows {
+        for r in rows {
             print!("{:>14}", f(r));
         }
         println!();
@@ -89,7 +124,6 @@ pub fn run_and_print(scale: Scale) -> Vec<TranslationRow> {
         format!("{:.2}%", r.overhead() * 100.0)
     });
     println!("# paper overhead: 6.02% @64 ... 1.00% @1024 ... 6.49% @2048 (U-shape)");
-    rows
 }
 
 #[cfg(test)]

@@ -295,6 +295,15 @@ impl Default for SystemConfig {
     }
 }
 
+// The parallel sweep engine hands configs to worker threads; a field
+// that breaks Send + Sync (an Rc, a raw pointer) would silently
+// serialize every experiment again, so assert the contract at compile
+// time.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SystemConfig>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,7 +5,7 @@ use accesys_sim::{units, Stats, Tick};
 use accesys_smmu::SmmuStats;
 
 /// Result of a GEMM run ([`crate::Simulation::run_gemm`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct RunReport {
     /// Tick the CPU program finished.
     pub total_ticks: Tick,
@@ -87,7 +87,7 @@ impl RunReport {
 }
 
 /// Result of a ViT layer run ([`crate::Simulation::run_vit_layer`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct VitReport {
     /// Tick the CPU program finished.
     pub total_ticks: Tick,

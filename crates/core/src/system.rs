@@ -471,6 +471,55 @@ impl Simulation {
         out
     }
 
+    /// Build a system from `cfg` and run one GEMM to completion: the
+    /// one-shot entry point sweep closures use, since every sweep point
+    /// builds its own isolated simulation.
+    ///
+    /// ```
+    /// use accesys::{Simulation, SystemConfig};
+    /// use accesys_workload::GemmSpec;
+    ///
+    /// let report =
+    ///     Simulation::measure_gemm(SystemConfig::paper_baseline(), GemmSpec::square(32)).unwrap();
+    /// assert!(report.total_time_ns() > 0.0);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error`] if the configuration is invalid or the
+    /// run fails.
+    pub fn measure_gemm(cfg: SystemConfig, spec: GemmSpec) -> Result<RunReport, crate::Error> {
+        Ok(Simulation::new(cfg)?.run_gemm(spec)?)
+    }
+
+    /// Build a system from `cfg` and run one GEMM sharded across every
+    /// accelerator ([`Simulation::run_gemm_sharded`]), one-shot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error`] if the configuration is invalid or the
+    /// run fails.
+    pub fn measure_gemm_sharded(
+        cfg: SystemConfig,
+        spec: GemmSpec,
+    ) -> Result<RunReport, crate::Error> {
+        Ok(Simulation::new(cfg)?.run_gemm_sharded(spec)?)
+    }
+
+    /// Build a system from `cfg` and run one ViT layer
+    /// ([`Simulation::run_vit_layer`]), one-shot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error`] if the configuration is invalid or the
+    /// run fails.
+    pub fn measure_vit_layer(
+        cfg: SystemConfig,
+        model: VitModel,
+    ) -> Result<VitReport, crate::Error> {
+        Ok(Simulation::new(cfg)?.run_vit_layer(model)?)
+    }
+
     /// Run one GEMM through the full system (driver doorbell → DMA →
     /// compute → MSI) and report.
     ///

@@ -1,0 +1,106 @@
+//! The [`Experiment`] trait and its parallel runner.
+
+use crate::{pool, Jobs, SweepResult};
+use std::time::Instant;
+
+/// A declarative experiment: a named set of independent points plus a
+/// per-point measurement.
+///
+/// The contract that makes [`Experiment::run`] safe to parallelize is
+/// **point isolation**: `measure` must depend only on the point (and
+/// immutable shared state captured in `self`), never on other points or
+/// on execution order. Every Gem5-AcceSys measurement builds its own
+/// simulation kernel per point, so the paper sweeps satisfy this by
+/// construction.
+///
+/// Most experiments are built with [`crate::Grid`] rather than
+/// implemented by hand:
+///
+/// ```
+/// use accesys_exp::{Experiment, Grid, Jobs};
+///
+/// let exp = Grid::new("cubes", [1u64, 2, 3]).sweep(|&x| x * x * x);
+/// assert_eq!(exp.name(), "cubes");
+/// let result = exp.run(Jobs::auto());
+/// assert_eq!(result.outputs().copied().collect::<Vec<_>>(), vec![1, 8, 27]);
+/// ```
+pub trait Experiment: Sync {
+    /// One configuration point of the sweep.
+    type Point: Clone + Send + Sync;
+    /// The measurement produced for one point.
+    type Out: Send;
+
+    /// Experiment name (used in reports and JSON output).
+    fn name(&self) -> &str;
+
+    /// Every point of the sweep, in canonical order.
+    ///
+    /// The runner preserves this order in [`SweepResult::points`]
+    /// regardless of how many workers execute the sweep.
+    fn points(&self) -> Vec<Self::Point>;
+
+    /// Measure one point. Must be a pure function of `point` + `self`.
+    fn measure(&self, point: &Self::Point) -> Self::Out;
+
+    /// Run every point on up to [`Jobs::get`] workers.
+    fn run(&self, jobs: Jobs) -> SweepResult<Self::Point, Self::Out>
+    where
+        Self: Sized,
+    {
+        run_experiment(self, jobs)
+    }
+}
+
+/// Run `exp` on up to `jobs` workers, collecting outputs in point order.
+///
+/// Wall-clock time is recorded on the result (for speedup reporting) but
+/// deliberately excluded from its serialized form, so `jobs=1` and
+/// `jobs=N` runs emit byte-identical JSON.
+pub fn run_experiment<E: Experiment + ?Sized>(
+    exp: &E,
+    jobs: Jobs,
+) -> SweepResult<E::Point, E::Out> {
+    let points = exp.points();
+    // Record the worker count that can actually run, not the request:
+    // the pool never spawns more workers than there are points.
+    let effective_jobs = jobs.get().min(points.len()).max(1);
+    let start = Instant::now();
+    let outputs = pool::map_ordered(jobs.get(), &points, |p| exp.measure(p));
+    SweepResult {
+        name: exp.name().to_string(),
+        jobs: effective_jobs,
+        wall: start.elapsed(),
+        points: points.into_iter().zip(outputs).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl Experiment for Doubler {
+        type Point = u32;
+        type Out = u32;
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn points(&self) -> Vec<u32> {
+            (0..10).collect()
+        }
+        fn measure(&self, point: &u32) -> u32 {
+            point * 2
+        }
+    }
+
+    #[test]
+    fn custom_experiment_types_run_through_the_same_pool() {
+        let result = Doubler.run(Jobs::new(3));
+        assert_eq!(result.name, "doubler");
+        assert_eq!(result.points.len(), 10);
+        for (i, (p, o)) in result.points.iter().enumerate() {
+            assert_eq!(*p as usize, i);
+            assert_eq!(*o, *p * 2);
+        }
+    }
+}

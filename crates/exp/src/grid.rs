@@ -1,0 +1,179 @@
+//! The [`Grid`] point builder and the [`Sweep`] it produces.
+
+use crate::Experiment;
+
+/// A named, ordered list of experiment points.
+///
+/// Points can come from anything iterable ([`Grid::new`]) or from a
+/// cartesian product of axes ([`Grid::cross2`] / [`Grid::cross3`],
+/// row-major: the last axis varies fastest, matching the nested loops
+/// the paper drivers used to hand-roll). Attach the measurement with
+/// [`Grid::sweep`] to obtain a runnable [`Sweep`].
+///
+/// ```
+/// use accesys_exp::Grid;
+///
+/// let grid = Grid::cross2("demo", [1, 2], ["a", "b"]);
+/// assert_eq!(grid.points(), &[(1, "a"), (1, "b"), (2, "a"), (2, "b")]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Grid<P> {
+    name: String,
+    points: Vec<P>,
+}
+
+impl<P> Grid<P> {
+    /// A grid from an explicit point list.
+    pub fn new(name: impl Into<String>, points: impl IntoIterator<Item = P>) -> Self {
+        Grid {
+            name: name.into(),
+            points: points.into_iter().collect(),
+        }
+    }
+
+    /// Experiment name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The points, in sweep order.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Attach the per-point measurement, producing a runnable [`Sweep`].
+    pub fn sweep<O, F>(self, f: F) -> Sweep<P, O, F>
+    where
+        F: Fn(&P) -> O,
+    {
+        Sweep {
+            grid: self,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<A: Clone, B: Clone> Grid<(A, B)> {
+    /// A two-axis cartesian grid (`a` outer, `b` inner).
+    pub fn cross2(
+        name: impl Into<String>,
+        a: impl IntoIterator<Item = A>,
+        b: impl IntoIterator<Item = B> + Clone,
+    ) -> Self {
+        Grid::new(name, cross2(a, b))
+    }
+}
+
+impl<A: Clone, B: Clone, C: Clone> Grid<(A, B, C)> {
+    /// A three-axis cartesian grid (`a` outer, `c` innermost).
+    pub fn cross3(
+        name: impl Into<String>,
+        a: impl IntoIterator<Item = A>,
+        b: impl IntoIterator<Item = B> + Clone,
+        c: impl IntoIterator<Item = C> + Clone,
+    ) -> Self {
+        Grid::new(name, cross3(a, b, c))
+    }
+}
+
+/// Row-major cartesian product of two axes.
+pub fn cross2<A: Clone, B: Clone>(
+    a: impl IntoIterator<Item = A>,
+    b: impl IntoIterator<Item = B> + Clone,
+) -> Vec<(A, B)> {
+    let mut out = Vec::new();
+    for x in a {
+        for y in b.clone() {
+            out.push((x.clone(), y));
+        }
+    }
+    out
+}
+
+/// Row-major cartesian product of three axes.
+pub fn cross3<A: Clone, B: Clone, C: Clone>(
+    a: impl IntoIterator<Item = A>,
+    b: impl IntoIterator<Item = B> + Clone,
+    c: impl IntoIterator<Item = C> + Clone,
+) -> Vec<(A, B, C)> {
+    let mut out = Vec::new();
+    for x in a {
+        for y in b.clone() {
+            for z in c.clone() {
+                out.push((x.clone(), y.clone(), z.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// A [`Grid`] with its measurement closure attached; the workhorse
+/// [`Experiment`] implementation behind every paper driver.
+pub struct Sweep<P, O, F> {
+    grid: Grid<P>,
+    f: F,
+    _out: std::marker::PhantomData<fn() -> O>,
+}
+
+impl<P, O, F> Experiment for Sweep<P, O, F>
+where
+    P: Clone + Send + Sync,
+    O: Send,
+    F: Fn(&P) -> O + Sync,
+{
+    type Point = P;
+    type Out = O;
+
+    fn name(&self) -> &str {
+        self.grid.name()
+    }
+
+    fn points(&self) -> Vec<P> {
+        self.grid.points.clone()
+    }
+
+    fn measure(&self, point: &P) -> O {
+        (self.f)(point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Jobs;
+
+    #[test]
+    fn cross2_is_row_major() {
+        let g = Grid::cross2("g", [1u32, 2], [10u32, 20, 30]);
+        assert_eq!(
+            g.points(),
+            &[(1, 10), (1, 20), (1, 30), (2, 10), (2, 20), (2, 30)]
+        );
+    }
+
+    #[test]
+    fn cross3_varies_last_axis_fastest() {
+        let g = Grid::cross3("g", [1u8], [2u8, 3], [4u8, 5]);
+        assert_eq!(g.points(), &[(1, 2, 4), (1, 2, 5), (1, 3, 4), (1, 3, 5)]);
+    }
+
+    #[test]
+    fn sweep_preserves_point_order_under_parallelism() {
+        let result = Grid::new("ord", 0..100u64)
+            .sweep(|&x| x + 1)
+            .run(Jobs::new(8));
+        let outs: Vec<u64> = result.outputs().copied().collect();
+        assert_eq!(outs, (1..=100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,41 @@
+//! # accesys-exp
+//!
+//! The parallel experiment engine of the Gem5-AcceSys reproduction.
+//!
+//! Every paper experiment is a sweep over independent configuration
+//! points, and every point builds its own isolated simulation kernel —
+//! the sweep is embarrassingly parallel. This crate turns that
+//! observation into a declarative API:
+//!
+//! * [`Grid`] enumerates points (optionally as a cartesian product of
+//!   axes) and [`Grid::sweep`] attaches the per-point measurement,
+//! * [`Experiment`] is the trait both implement, so custom experiment
+//!   types plug into the same runner,
+//! * [`Experiment::run`] fans points out over a scoped worker pool
+//!   ([`pool::map_ordered`]) sized by a [`Jobs`] knob
+//!   (`--jobs` / `ACCESYS_JOBS`), and
+//! * [`SweepResult`] collects outputs in input order — results are
+//!   bit-identical regardless of worker count — and serializes to JSON
+//!   through the vendored serde.
+//!
+//! ```
+//! use accesys_exp::{Experiment, Grid, Jobs};
+//!
+//! let result = Grid::cross2("squares", [1u64, 2, 3], [10u64, 100])
+//!     .sweep(|&(a, b)| a * b)
+//!     .run(Jobs::new(4));
+//! assert_eq!(result.outputs().copied().collect::<Vec<_>>(),
+//!            vec![10, 100, 20, 200, 30, 300]);
+//! ```
+#![warn(missing_docs)]
+
+mod experiment;
+mod grid;
+mod jobs;
+pub mod pool;
+mod result;
+
+pub use experiment::{run_experiment, Experiment};
+pub use grid::{cross2, cross3, Grid, Sweep};
+pub use jobs::Jobs;
+pub use result::SweepResult;

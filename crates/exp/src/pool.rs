@@ -1,0 +1,150 @@
+//! A hand-rolled scoped worker pool.
+//!
+//! The build environment has no rayon, so the sweep runner fans work out
+//! with [`std::thread::scope`] and a shared atomic cursor: each worker
+//! repeatedly claims the next unclaimed input index and writes its output
+//! into that index's result slot. Outputs therefore come back in **input
+//! order** no matter how the scheduler interleaves workers, which is what
+//! makes `jobs=1` and `jobs=N` runs byte-identical.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Apply `f` to every input on up to `jobs` worker threads, returning
+/// outputs in input order.
+///
+/// With `jobs <= 1` (or fewer than two inputs) everything runs on the
+/// calling thread with no synchronization at all, so a serial run is
+/// exactly the plain `iter().map()` it replaces.
+///
+/// # Panics
+///
+/// If `f` panics for any input the pool stops handing out new work,
+/// finishes the points already in flight, and re-raises the first panic
+/// payload on the calling thread — a panicking point can never hang the
+/// pool.
+///
+/// ```
+/// let doubled = accesys_exp::pool::map_ordered(4, &[1, 2, 3, 4, 5], |&x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+/// ```
+pub fn map_ordered<I, O, F>(jobs: usize, inputs: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let workers = jobs.min(inputs.len());
+    if workers <= 1 {
+        return inputs.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let mut slots: Vec<Mutex<Option<O>>> = Vec::with_capacity(inputs.len());
+    slots.resize_with(inputs.len(), || Mutex::new(None));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if aborted.load(Ordering::Acquire) {
+                    break;
+                }
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(input) = inputs.get(index) else {
+                    break;
+                };
+                match catch_unwind(AssertUnwindSafe(|| f(input))) {
+                    Ok(out) => *slots[index].lock().expect("result slot poisoned") = Some(out),
+                    Err(payload) => {
+                        panic_payload
+                            .lock()
+                            .expect("panic slot poisoned")
+                            .get_or_insert(payload);
+                        aborted.store(true, Ordering::Release);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(payload) = panic_payload.into_inner().expect("panic slot poisoned") {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without writing its slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_come_back_in_input_order() {
+        let inputs: Vec<usize> = (0..64).collect();
+        let out = map_ordered(7, &inputs, |&i| {
+            // Stagger completion so late indices often finish first.
+            std::thread::sleep(std::time::Duration::from_micros((64 - i as u64) * 10));
+            i * 3
+        });
+        assert_eq!(out, inputs.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let inputs: Vec<u64> = (0..33).collect();
+        let serial = map_ordered(1, &inputs, |&x| x.wrapping_mul(0x9e37_79b9));
+        let parallel = map_ordered(8, &inputs, |&x| x.wrapping_mul(0x9e37_79b9));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn more_workers_than_inputs_is_fine() {
+        let out = map_ordered(64, &[1, 2], |&x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<i32> = map_ordered(4, &[] as &[i32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn a_panicking_point_propagates_and_does_not_hang() {
+        let inputs: Vec<usize> = (0..100).collect();
+        let result = std::panic::catch_unwind(|| {
+            map_ordered(4, &inputs, |&i| {
+                if i == 13 {
+                    panic!("point 13 exploded");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("panic must propagate to the caller");
+        let text = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(text.contains("point 13 exploded"), "payload: {text:?}");
+    }
+
+    #[test]
+    fn serial_panic_propagates_too() {
+        let result = std::panic::catch_unwind(|| {
+            map_ordered(1, &[0usize], |_| -> usize { panic!("serial boom") })
+        });
+        assert!(result.is_err());
+    }
+}

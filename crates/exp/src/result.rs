@@ -1,0 +1,109 @@
+//! Sweep results: input-ordered, JSON-serializable.
+
+use std::time::Duration;
+
+/// The outcome of running an [`crate::Experiment`]: every `(point,
+/// output)` pair in canonical point order, plus run metadata.
+///
+/// Serialization covers only the name and the points — the `jobs` and
+/// `wall` fields vary run to run, and the determinism contract promises
+/// that `jobs=1` and `jobs=N` runs of the same sweep emit **byte
+/// identical** JSON.
+///
+/// ```
+/// use accesys_exp::{Experiment, Grid, Jobs};
+///
+/// let sweep = Grid::new("inc", [1u32, 2, 3]).sweep(|&x| x + 1);
+/// let serial = sweep.run(Jobs::serial()).to_json().unwrap();
+/// let parallel = sweep.run(Jobs::new(4)).to_json().unwrap();
+/// assert_eq!(serial, parallel);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SweepResult<P, O> {
+    /// Experiment name.
+    pub name: String,
+    /// Effective worker count the sweep ran with — the request clamped
+    /// to the point count (not serialized).
+    pub jobs: usize,
+    /// Wall-clock duration of the sweep (not serialized).
+    pub wall: Duration,
+    /// `(point, output)` pairs in canonical point order.
+    pub points: Vec<(P, O)>,
+}
+
+impl<P, O> SweepResult<P, O> {
+    /// The outputs, in point order.
+    pub fn outputs(&self) -> impl Iterator<Item = &O> {
+        self.points.iter().map(|(_, o)| o)
+    }
+
+    /// Consume the result, keeping only the outputs in point order.
+    pub fn into_outputs(self) -> Vec<O> {
+        self.points.into_iter().map(|(_, o)| o).collect()
+    }
+
+    /// Wall-clock seconds the sweep took.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall.as_secs_f64()
+    }
+}
+
+impl<P: serde::Serialize, O: serde::Serialize> SweepResult<P, O> {
+    /// Compact JSON (`{"experiment": ..., "points": [{"point", "out"}]}`).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Indented JSON of the same shape as [`SweepResult::to_json`].
+    pub fn to_json_pretty(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+impl<P: serde::Serialize, O: serde::Serialize> serde::Serialize for SweepResult<P, O> {
+    fn to_value(&self) -> serde::Value {
+        let points = self
+            .points
+            .iter()
+            .map(|(p, o)| {
+                serde::Value::Map(vec![
+                    ("point".to_string(), p.to_value()),
+                    ("out".to_string(), o.to_value()),
+                ])
+            })
+            .collect();
+        serde::Value::Map(vec![
+            (
+                "experiment".to_string(),
+                serde::Value::Str(self.name.clone()),
+            ),
+            ("points".to_string(), serde::Value::Seq(points)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Experiment, Grid, Jobs};
+
+    #[test]
+    fn json_shape_is_stable() {
+        let result = Grid::new("j", [1u32, 2])
+            .sweep(|&x| x * 10)
+            .run(Jobs::serial());
+        let json = result.to_json().unwrap();
+        assert_eq!(
+            json,
+            r#"{"experiment":"j","points":[{"point":1,"out":10},{"point":2,"out":20}]}"#
+        );
+    }
+
+    #[test]
+    fn metadata_is_excluded_from_json() {
+        let sweep = Grid::new("m", 0..20u64).sweep(|&x| x * x);
+        let a = sweep.run(Jobs::serial());
+        let b = sweep.run(Jobs::new(6));
+        assert_ne!(a.jobs, b.jobs);
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    }
+}

@@ -51,7 +51,7 @@ impl PcieLinkConfig {
         }
     }
 
-    /// A link built from a standard [`PcieGen`] with `lanes` lanes.
+    /// A link built from a standard [`crate::PcieGen`] with `lanes` lanes.
     pub fn gen(generation: crate::PcieGen, lanes: u32) -> Self {
         PcieLinkConfig {
             lanes,

@@ -106,6 +106,36 @@ impl Ctx<'_> {
 
     /// Deliver `msg` to `dst` after `delay` ticks.
     ///
+    /// The send is buffered: the kernel commits it to the event queue
+    /// only after the current handler returns, stamping sends in call
+    /// order so simultaneous deliveries stay deterministic.
+    ///
+    /// ```
+    /// use accesys_sim::{Ctx, Kernel, Module, ModuleId, Msg, units};
+    ///
+    /// struct Relay {
+    ///     peer: ModuleId,
+    /// }
+    /// impl Module for Relay {
+    ///     fn name(&self) -> &str {
+    ///         "relay"
+    ///     }
+    ///     fn handle(&mut self, msg: Msg, ctx: &mut Ctx) {
+    ///         if let (Msg::Timer(tag), true) = (&msg, self.peer.is_valid()) {
+    ///             // Forward the tag to the peer 2 ns from now.
+    ///             ctx.send(self.peer, units::ns(2.0), Msg::Timer(tag + 1));
+    ///         }
+    ///     }
+    /// }
+    ///
+    /// let mut kernel = Kernel::new();
+    /// let sink = kernel.add_module(Box::new(Relay { peer: ModuleId::INVALID }));
+    /// let relay = kernel.add_module(Box::new(Relay { peer: sink }));
+    /// kernel.schedule(units::ns(1.0), relay, Msg::Timer(7));
+    /// let end = kernel.run_until_idle().unwrap();
+    /// assert_eq!(end, units::ns(3.0)); // 1 ns kick-off + 2 ns forward
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `dst` is [`ModuleId::INVALID`], which indicates a wiring
@@ -130,6 +160,39 @@ impl Ctx<'_> {
 }
 
 /// The discrete-event simulator: owns all modules and the event queue.
+///
+/// Events are processed in a strict `(tick, sequence)` total order: time
+/// first, insertion order among simultaneous events. A kernel owns its
+/// whole world — modules, queue, packet-id allocator — so independent
+/// kernels never share state and can run on separate threads (the
+/// contract the parallel sweep engine in `accesys-exp` relies on).
+///
+/// ```
+/// use accesys_sim::{Ctx, Kernel, Module, Msg, Stats, units};
+///
+/// struct Counter {
+///     fired: u64,
+/// }
+/// impl Module for Counter {
+///     fn name(&self) -> &str {
+///         "counter"
+///     }
+///     fn handle(&mut self, _msg: Msg, _ctx: &mut Ctx) {
+///         self.fired += 1;
+///     }
+///     fn report(&self, out: &mut Stats) {
+///         out.add("fired", self.fired as f64);
+///     }
+/// }
+///
+/// let mut kernel = Kernel::new();
+/// let id = kernel.add_module(Box::new(Counter { fired: 0 }));
+/// kernel.schedule(units::ns(5.0), id, Msg::Timer(0));
+/// kernel.schedule(units::ns(9.0), id, Msg::Timer(1));
+/// let end = kernel.run_until_idle().unwrap();
+/// assert_eq!(end, units::ns(9.0));
+/// assert_eq!(kernel.stats().get("counter.fired"), Some(2.0));
+/// ```
 pub struct Kernel {
     time: Tick,
     seq: u64,
@@ -271,6 +334,11 @@ impl Kernel {
     /// Returns [`SimError::EventLimitExceeded`] if `limit.max_events` is
     /// exhausted before the queue drains.
     pub fn run(&mut self, limit: RunLimit) -> Result<Tick, SimError> {
+        // If a previous run was aborted by a handler panic (callers may
+        // catch_unwind around a run), the aborted handler's partial sends
+        // are still buffered; discard them rather than deliver them as if
+        // the handler had completed.
+        self.out_buf.clear();
         let budget_end = self.events_processed + limit.max_events;
         while let Some(ev) = self.queue.peek() {
             if ev.when > limit.max_time {
@@ -287,24 +355,33 @@ impl Kernel {
             self.time = ev.when;
             self.events_processed += 1;
 
-            let mut out = std::mem::take(&mut self.out_buf);
             {
-                let module = self
-                    .modules
+                // Disjoint field borrows: the handler writes into
+                // `out_buf` while `modules` is borrowed, with no
+                // per-event `mem::take` round-trip of the buffer.
+                let Kernel {
+                    time,
+                    next_pkt_id,
+                    modules,
+                    out_buf,
+                    tracer,
+                    ..
+                } = self;
+                let module = modules
                     .get_mut(ev.dst.index())
                     .unwrap_or_else(|| panic!("event for unknown module {}", ev.dst));
-                if let Some(tracer) = self.tracer.as_mut() {
+                if let Some(tracer) = tracer.as_mut() {
                     tracer.on_event(ev.when, ev.dst, module.name(), &ev.msg);
                 }
                 let mut ctx = Ctx {
-                    now: self.time,
+                    now: *time,
                     self_id: ev.dst,
-                    out: &mut out,
-                    next_pkt_id: &mut self.next_pkt_id,
+                    out: out_buf,
+                    next_pkt_id,
                 };
                 module.handle(ev.msg, &mut ctx);
             }
-            for (when, dst, msg) in out.drain(..) {
+            for (when, dst, msg) in self.out_buf.drain(..) {
                 assert!(
                     dst.index() < self.modules.len(),
                     "message sent to unknown module {dst}"
@@ -317,7 +394,6 @@ impl Kernel {
                 });
                 self.seq += 1;
             }
-            self.out_buf = out;
         }
         Ok(self.time)
     }
@@ -494,6 +570,32 @@ mod tests {
         let stats = k.stats();
         assert_eq!(stats.get("front.timers"), Some(1.0));
         assert_eq!(stats.get("kernel.events"), Some(1.0));
+    }
+
+    #[test]
+    fn partial_sends_of_a_panicking_handler_are_discarded() {
+        struct Bomb {
+            peer: ModuleId,
+        }
+        impl Module for Bomb {
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx) {
+                ctx.send(self.peer, 1, Msg::Timer(9));
+                panic!("handler aborts after a buffered send");
+            }
+        }
+        let mut k = Kernel::new();
+        let sink = k.add_module(recorder("sink", ModuleId::INVALID));
+        let bomb = k.add_module(Box::new(Bomb { peer: sink }));
+        k.schedule(0, bomb, Msg::Timer(0));
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| k.run_until_idle())).is_err();
+        assert!(panicked);
+        // Resuming the kernel must not deliver the aborted handler's send.
+        k.run_until_idle().unwrap();
+        assert!(k.module::<Recorder>(sink).unwrap().log.is_empty());
     }
 
     #[test]

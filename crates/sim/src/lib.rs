@@ -28,6 +28,7 @@
 //! kernel.run_until_idle().unwrap();
 //! assert_eq!(kernel.module::<Echo>(id).unwrap().heard, 1);
 //! ```
+#![warn(missing_docs)]
 
 mod hist;
 mod kernel;

@@ -79,6 +79,30 @@ impl Stats {
     }
 }
 
+impl serde::Serialize for Stats {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(
+            self.entries
+                .iter()
+                .map(|(k, v)| (k.clone(), serde::Value::F64(*v)))
+                .collect(),
+        )
+    }
+}
+
+impl serde::Deserialize for Stats {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| serde::DeError::custom("expected map for Stats"))?;
+        let mut entries = BTreeMap::new();
+        for (k, v) in map {
+            entries.insert(k.clone(), <f64 as serde::Deserialize>::from_value(v)?);
+        }
+        Ok(Stats { entries })
+    }
+}
+
 impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for (k, v) in &self.entries {
@@ -124,6 +148,16 @@ mod tests {
         s.add("cache.l2.hits", 4.0);
         s.add("dram.reads", 9.0);
         assert_eq!(s.sum_prefix("cache."), 7.0);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_every_counter() {
+        let mut s = Stats::new();
+        s.add("cache.hits", 10.0);
+        s.add("dram.reads", 2.5);
+        let value = serde::Serialize::to_value(&s);
+        let back: Stats = serde::Deserialize::from_value(&value).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub use accesys_accel as accel;
 pub use accesys_cache as cache;
 pub use accesys_cpu as cpu;
 pub use accesys_dma as dma;
+pub use accesys_exp as exp;
 pub use accesys_interconnect as interconnect;
 pub use accesys_mem as mem;
 pub use accesys_sim as sim;
@@ -31,6 +32,7 @@ pub use accesys_workload as workload;
 /// Commonly used types for examples and tests.
 pub mod prelude {
     pub use accesys::{AccessMode, Error, MemoryLocation, RunReport, Simulation, SystemConfig};
+    pub use accesys_exp::{Experiment, Grid, Jobs};
     pub use accesys_mem::MemTech;
     pub use accesys_workload::{GemmSpec, VitModel};
 }

@@ -82,6 +82,18 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
 /// Deserialize from the shim's [`Value`] model.
 pub trait Deserialize: Sized {
     fn from_value(value: &Value) -> Result<Self, DeError>;
@@ -271,3 +283,36 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
             .map_err(|_| DeError::custom(format!("expected sequence of length {N}")))
     }
 }
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+) with $arity:literal),+ $(,)?) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn to_value(&self) -> Value {
+                    Value::Seq(vec![$(self.$idx.to_value()),+])
+                }
+            }
+
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn from_value(value: &Value) -> Result<Self, DeError> {
+                    let seq = value
+                        .as_seq()
+                        .ok_or_else(|| DeError::custom("expected sequence for tuple"))?;
+                    if seq.len() != $arity {
+                        return Err(DeError::custom(concat!(
+                            "expected sequence of length ",
+                            stringify!($arity)
+                        )));
+                    }
+                    Ok(($($name::from_value(&seq[$idx])?,)+))
+                }
+            }
+        )+
+    };
+}
+
+impl_serde_tuple!(
+    (A: 0, B: 1) with 2,
+    (A: 0, B: 1, C: 2) with 3,
+    (A: 0, B: 1, C: 2, D: 3) with 4,
+);

@@ -9,7 +9,7 @@
 //! * structs with named fields,
 //! * enums whose variants are unit, tuple, or struct-like.
 //!
-//! Generated impls target the shim's self-describing [`Value`] model rather
+//! Generated impls target the shim's self-describing `Value` model rather
 //! than serde's visitor architecture; `serde_json` in this tree speaks the
 //! same model, so round-trips work end to end.
 
