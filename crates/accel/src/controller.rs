@@ -427,7 +427,7 @@ impl AccelController {
             ctx.now(),
         );
         msi.stream = accesys_sim::streams::DMA_BASE + 3;
-        ctx.send(self.ep, 0, Msg::Packet(msi));
+        ctx.send(self.ep, 0, Msg::packet(msi));
         self.start_next_job(ctx);
     }
 
@@ -580,7 +580,7 @@ mod tests {
 
     fn ring_doorbell(r: &mut Rig) {
         let db = Packet::request(9000, MemCmd::WriteReq, 0x1_0000_0000, 8, r.kernel.now());
-        r.kernel.schedule(r.kernel.now(), r.ctrl, Msg::Packet(db));
+        r.kernel.schedule(r.kernel.now(), r.ctrl, Msg::packet(db));
     }
 
     #[test]

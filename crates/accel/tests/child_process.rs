@@ -139,7 +139,7 @@ fn run_rig(child: bool) -> (u64, bool) {
         .unwrap()
         .enqueue_job(job);
     let db = Packet::request(9000, MemCmd::WriteReq, 0x1_0000_0000, 8, 0);
-    k.schedule(0, ctrl, Msg::Packet(db));
+    k.schedule(0, ctrl, Msg::packet(db));
     let end = k.run_until_idle().unwrap();
     let _ = ModuleId::INVALID; // silence unused import on some cfgs
     let passed = ops.result().map(|r| r == ops.golden()).unwrap_or(false);

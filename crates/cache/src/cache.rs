@@ -96,7 +96,7 @@ struct LineOp {
 }
 
 struct Parent {
-    pkt: Packet,
+    pkt: Box<Packet>,
     remaining: u32,
     start: Tick,
 }
@@ -284,7 +284,7 @@ impl Cache {
                     ctx.now(),
                 );
                 // Fire-and-forget: empty route, the responder drops the ack.
-                ctx.send(self.downstream, 0, Msg::Packet(wb));
+                ctx.send(self.downstream, 0, Msg::packet(wb));
             }
         }
         self.sets[set][way] = Line {
@@ -345,7 +345,7 @@ impl Cache {
         ctx.send(
             self.downstream,
             units::ns(self.cfg.lookup_latency_ns),
-            Msg::Packet(fill),
+            Msg::packet(fill),
         );
     }
 
@@ -378,14 +378,14 @@ impl Cache {
                     ctx.now(),
                 );
                 probe.route.push(ctx.self_id());
-                ctx.send(coh.cpu_cache, 0, Msg::Packet(probe));
+                ctx.send(coh.cpu_cache, 0, Msg::packet(probe));
                 return;
             }
         }
         self.access_line(op, ctx);
     }
 
-    fn handle_request(&mut self, pkt: Packet, ctx: &mut Ctx) {
+    fn handle_request(&mut self, pkt: Box<Packet>, ctx: &mut Ctx) {
         let side = self.side_of(pkt.stream);
         let write = pkt.cmd == MemCmd::WriteReq;
         self.bytes += u64::from(pkt.size);
@@ -412,7 +412,7 @@ impl Cache {
         }
     }
 
-    fn handle_fill(&mut self, pkt: Packet, ctx: &mut Ctx) {
+    fn handle_fill(&mut self, pkt: &Packet, ctx: &mut Ctx) {
         let line_addr = pkt.addr;
         let waiters = self
             .mshrs
@@ -431,7 +431,7 @@ impl Cache {
         }
     }
 
-    fn handle_snoop(&mut self, mut pkt: Packet, ctx: &mut Ctx) {
+    fn handle_snoop(&mut self, mut pkt: Box<Packet>, ctx: &mut Ctx) {
         self.snoops_received += 1;
         if let Some((set, way)) = self.lookup(pkt.addr) {
             let line = self.sets[set][way];
@@ -444,7 +444,7 @@ impl Cache {
                     self.cfg.line_bytes,
                     ctx.now(),
                 );
-                ctx.send(self.downstream, 0, Msg::Packet(wb));
+                ctx.send(self.downstream, 0, Msg::packet(wb));
             }
             self.sets[set][way].valid = false;
         }
@@ -458,7 +458,7 @@ impl Cache {
         }
     }
 
-    fn handle_snoop_ack(&mut self, pkt: Packet, ctx: &mut Ctx) {
+    fn handle_snoop_ack(&mut self, pkt: &Packet, ctx: &mut Ctx) {
         let line_addr = pkt.addr;
         if let Some(bits) = self.presence.get_mut(&line_addr) {
             *bits &= !CoherenceSide::Cpu.bit();
@@ -480,9 +480,9 @@ impl Module for Cache {
         if let Msg::Packet(pkt) = msg {
             match pkt.cmd {
                 MemCmd::ReadReq | MemCmd::WriteReq => self.handle_request(pkt, ctx),
-                MemCmd::ReadResp => self.handle_fill(pkt, ctx),
+                MemCmd::ReadResp => self.handle_fill(&pkt, ctx),
                 MemCmd::SnoopInv => self.handle_snoop(pkt, ctx),
-                MemCmd::SnoopInvAck => self.handle_snoop_ack(pkt, ctx),
+                MemCmd::SnoopInvAck => self.handle_snoop_ack(&pkt, ctx),
                 MemCmd::WriteResp => {} // writeback acks are dropped
             }
         }
@@ -520,6 +520,7 @@ mod tests {
         next: usize,
         stream: u16,
         done: Vec<Tick>,
+        name: &'static str,
     }
 
     impl Script {
@@ -534,13 +535,13 @@ mod tests {
             let mut p = Packet::request(ctx.alloc_pkt_id(), cmd, addr, size, ctx.now());
             p.stream = self.stream;
             p.route.push(ctx.self_id());
-            ctx.send(self.target, 0, Msg::Packet(p));
+            ctx.send(self.target, 0, Msg::packet(p));
         }
     }
 
     impl Module for Script {
         fn name(&self) -> &str {
-            "script"
+            self.name
         }
         fn handle(&mut self, msg: Msg, ctx: &mut Ctx) {
             match msg {
@@ -567,6 +568,7 @@ mod tests {
             next: 0,
             stream: 0,
             done: vec![],
+            name: "script",
         }));
         k.schedule(0, s, Msg::Timer(0));
         k.run_until_idle().unwrap();
@@ -637,7 +639,7 @@ mod tests {
                                 ctx.now(),
                             );
                             p.route.push(ctx.self_id());
-                            ctx.send(self.target, 0, Msg::Packet(p));
+                            ctx.send(self.target, 0, Msg::packet(p));
                         }
                     }
                     Msg::Packet(_) => self.got += 1,
@@ -671,6 +673,7 @@ mod tests {
             next: 0,
             stream: 0,
             done: vec![],
+            name: "script",
         }));
         k.schedule(0, s, Msg::Timer(0));
         k.run_until_idle().unwrap();
@@ -693,7 +696,7 @@ mod tests {
         let prober = k.add_module(Box::new(Prober { got_ack: false }));
         let mut probe = Packet::request(9999, MemCmd::SnoopInv, 0x200, 64, 0);
         probe.route.push(prober);
-        k.schedule(k.now(), l1, Msg::Packet(probe));
+        k.schedule(k.now(), l1, Msg::packet(probe));
         k.run_until_idle().unwrap();
         assert!(k.module::<Prober>(prober).unwrap().got_ack);
         let stats = k.stats();
@@ -706,6 +709,7 @@ mod tests {
             next: 0,
             stream: 0,
             done: vec![],
+            name: "script2",
         }));
         k.schedule(k.now(), s2, Msg::Timer(0));
         k.run_until_idle().unwrap();
@@ -731,6 +735,7 @@ mod tests {
             next: 0,
             stream: 0,
             done: vec![],
+            name: "cpu_script",
         }));
         k.schedule(0, cpu, Msg::Timer(0));
         k.run_until_idle().unwrap();
@@ -741,6 +746,7 @@ mod tests {
             next: 0,
             stream: 16,
             done: vec![],
+            name: "io_script",
         }));
         k.schedule(k.now(), io, Msg::Timer(0));
         k.run_until_idle().unwrap();

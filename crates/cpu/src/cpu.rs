@@ -257,7 +257,7 @@ impl CpuComplex {
                     ctx.send(
                         self.membus,
                         units::ns(self.cfg.driver_overhead_ns),
-                        Msg::Packet(db),
+                        Msg::packet(db),
                     );
                     if self.seen_irqs.remove(&job_cookie) {
                         // MSI already arrived (possible after LaunchAsync
@@ -282,7 +282,7 @@ impl CpuComplex {
                     ctx.send(
                         self.membus,
                         units::ns(self.cfg.driver_overhead_ns),
-                        Msg::Packet(db),
+                        Msg::packet(db),
                     );
                     // The driver is busy for the overhead window, then
                     // moves on without waiting for the device.
@@ -362,7 +362,7 @@ impl CpuComplex {
             pkt.stream = streams::CPU;
             pkt.route.push(ctx.self_id());
             let port = self.data_port(addr);
-            ctx.send(port, 0, Msg::Packet(pkt));
+            ctx.send(port, 0, Msg::packet(pkt));
         }
         self.check_stream_done(ctx);
     }
@@ -579,7 +579,7 @@ mod tests {
                             ctx.now(),
                         );
                         msi.stream = streams::DMA_BASE;
-                        ctx.send(self.cpu, units::us(1.0), Msg::Packet(msi));
+                        ctx.send(self.cpu, units::us(1.0), Msg::packet(msi));
                     }
                 }
             }
@@ -643,7 +643,7 @@ mod tests {
                     ctx.send(
                         self.cpu,
                         units::ns(self.base_ns * (i + 1) as f64),
-                        Msg::Packet(msi),
+                        Msg::packet(msi),
                     );
                 }
             }

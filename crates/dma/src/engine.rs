@@ -226,7 +226,7 @@ impl DmaEngine {
                 pkt.virt = active.desc.virt;
                 pkt.stream = stream;
                 pkt.route.push(ctx.self_id());
-                ctx.send(active.desc.target, 0, Msg::Packet(pkt));
+                ctx.send(active.desc.target, 0, Msg::packet(pkt));
                 active.seg_offset += u64::from(size);
                 if active.seg_offset >= seg_bytes {
                     active.seg_idx += 1;
@@ -246,7 +246,7 @@ impl DmaEngine {
         let _ = issued_bytes;
     }
 
-    fn on_response(&mut self, pkt: Packet, ctx: &mut Ctx) {
+    fn on_response(&mut self, pkt: &Packet, ctx: &mut Ctx) {
         let Some(ch) = self.channel_of(pkt.stream) else {
             return;
         };
@@ -286,7 +286,7 @@ impl Module for DmaEngine {
         match msg {
             Msg::Packet(pkt) => {
                 debug_assert!(pkt.cmd.is_response(), "DMA engine got a request");
-                self.on_response(pkt, ctx);
+                self.on_response(&pkt, ctx);
             }
             Msg::Timer(ch) => self.pump(ch as usize, ctx),
             other => {

@@ -56,7 +56,7 @@ pub struct PcieEndpoint {
     /// controller) for host-originated NUMA accesses.
     inward_routes: Vec<(AddrRange, ModuleId)>,
     outstanding_np: u32,
-    tx_queue: VecDeque<Packet>,
+    tx_queue: VecDeque<Box<Packet>>,
     // stats
     reads_sent: u64,
     writes_sent: u64,
@@ -223,12 +223,13 @@ mod tests {
     /// Fake link that echoes read requests back as responses after a
     /// fixed round-trip, preserving the route stack discipline.
     struct EchoLink {
+        name: &'static str,
         rtt_ns: f64,
         seen: u64,
     }
     impl Module for EchoLink {
         fn name(&self) -> &str {
-            "echo"
+            self.name
         }
         fn handle(&mut self, msg: Msg, ctx: &mut Ctx) {
             if let Msg::Packet(mut p) = msg {
@@ -265,7 +266,7 @@ mod tests {
                             ctx.now(),
                         );
                         p.route.push(ctx.self_id());
-                        ctx.send(self.ep, 0, Msg::Packet(p));
+                        ctx.send(self.ep, 0, Msg::packet(p));
                     }
                 }
                 Msg::Packet(p) => {
@@ -281,6 +282,7 @@ mod tests {
     fn tag_pool_limits_outstanding_reads() {
         let mut k = Kernel::new();
         let echo = k.add_module(Box::new(EchoLink {
+            name: "echo",
             rtt_ns: 100.0,
             seen: 0,
         }));
@@ -290,6 +292,7 @@ mod tests {
             ..PcieEndpointConfig::default()
         };
         let dummy_mmio = k.add_module(Box::new(EchoLink {
+            name: "dummy_mmio",
             rtt_ns: 0.0,
             seen: 0,
         }));
@@ -331,6 +334,7 @@ mod tests {
         }
         let mut k = Kernel::new();
         let link = k.add_module(Box::new(EchoLink {
+            name: "link",
             rtt_ns: 0.0,
             seen: 0,
         }));
@@ -344,7 +348,7 @@ mod tests {
         )));
         let mut p = Packet::request(0, MemCmd::WriteReq, BAR.base + 8, 8, 0);
         p.ingress_link = link; // pretend it came over the wire
-        k.schedule(0, ep, Msg::Packet(p));
+        k.schedule(0, ep, Msg::packet(p));
         k.run_until_idle().unwrap();
         assert_eq!(k.module::<Ctrl>(ctrl).unwrap().got, 1);
         assert_eq!(k.stats().get_or_zero("ep.mmio_requests"), 1.0);

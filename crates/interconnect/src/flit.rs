@@ -114,7 +114,7 @@ pub struct FlitLink {
     cfg: FlitLinkConfig,
     dst: ModuleId,
     credit_flits: i64,
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     tx_free: Tick,
     // stats
     packets: u64,
@@ -265,7 +265,7 @@ mod tests {
         let link = k.add_module(Box::new(FlitLink::new("cxl", cfg, sink)));
         for i in 0..count {
             let pkt = Packet::request(u64::from(i), MemCmd::WriteReq, 0x1000, size, 0);
-            k.schedule(0, link, Msg::Packet(pkt));
+            k.schedule(0, link, Msg::packet(pkt));
         }
         k.run_until_idle().unwrap();
         (k.module::<Sink>(sink).unwrap().got.clone(), k.stats())
@@ -290,7 +290,7 @@ mod tests {
         }));
         let link = k.add_module(Box::new(FlitLink::new("cxl", cfg, sink)));
         let pkt = Packet::request(0, MemCmd::ReadReq, 0, 4096, 0);
-        k.schedule(0, link, Msg::Packet(pkt));
+        k.schedule(0, link, Msg::packet(pkt));
         k.run_until_idle().unwrap();
         assert_eq!(k.stats().get_or_zero("cxl.flits"), 1.0);
     }
@@ -330,7 +330,7 @@ mod tests {
         let link = k.add_module(Box::new(FlitLink::new("cxl", cfg, sink)));
         for i in 0..4u32 {
             let pkt = Packet::request(u64::from(i), MemCmd::WriteReq, 0, 256, 0);
-            k.schedule(0, link, Msg::Packet(pkt));
+            k.schedule(0, link, Msg::packet(pkt));
         }
         k.run_until_idle().unwrap();
         assert_eq!(k.module::<Sink>(sink).unwrap().got.len(), 1);

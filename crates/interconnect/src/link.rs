@@ -108,7 +108,7 @@ pub struct PcieLink {
     cfg: PcieLinkConfig,
     dst: ModuleId,
     credits: [i64; 3],
-    queues: [VecDeque<Packet>; 3],
+    queues: [VecDeque<Box<Packet>>; 3],
     tx_free: Tick,
     rng: u64,
     // stats
@@ -314,7 +314,7 @@ mod tests {
         let link = k.add_module(Box::new(PcieLink::new("link", cfg, sink)));
         for i in 0..count {
             let pkt = Packet::request(u64::from(i), MemCmd::WriteReq, 0x1000, size, 0);
-            k.schedule(0, link, Msg::Packet(pkt));
+            k.schedule(0, link, Msg::packet(pkt));
         }
         k.run_until_idle().unwrap();
         (k.module::<Sink>(sink).unwrap().got.clone(), k.stats())
@@ -390,7 +390,7 @@ mod tests {
         for i in 0..32u32 {
             let size = 64 + (i % 4) * 64;
             let pkt = Packet::request(u64::from(i), MemCmd::WriteReq, 0, size, 0);
-            k.schedule(u64::from(i) * 10, link, Msg::Packet(pkt));
+            k.schedule(u64::from(i) * 10, link, Msg::packet(pkt));
         }
         k.run_until_idle().unwrap();
         assert_eq!(k.module::<Sink>(sink).unwrap().got.len(), 32);
@@ -406,7 +406,7 @@ mod tests {
         }));
         let link = k.add_module(Box::new(PcieLink::new("link", cfg, sink)));
         let pkt = Packet::request(0, MemCmd::ReadReq, 0, 4096, 0);
-        k.schedule(0, link, Msg::Packet(pkt));
+        k.schedule(0, link, Msg::packet(pkt));
         k.run_until_idle().unwrap();
         // 24 B at 2 GB/s = 12 ns + 10 ns prop.
         assert_eq!(k.module::<Sink>(sink).unwrap().got[0].0, units::ns(22.0));

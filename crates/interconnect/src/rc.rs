@@ -244,11 +244,12 @@ mod tests {
     use accesys_sim::{Kernel, MemCmd};
 
     struct Term {
+        name: &'static str,
         got: Vec<(Tick, MemCmd)>,
     }
     impl Module for Term {
         fn name(&self) -> &str {
-            "term"
+            self.name
         }
         fn handle(&mut self, msg: Msg, ctx: &mut Ctx) {
             if let Msg::Packet(p) = msg {
@@ -265,13 +266,19 @@ mod tests {
     #[test]
     fn dma_requests_bridge_to_host_after_latency() {
         let mut k = Kernel::new();
-        let host = k.add_module(Box::new(Term { got: vec![] }));
-        let down = k.add_module(Box::new(Term { got: vec![] }));
+        let host = k.add_module(Box::new(Term {
+            name: "host",
+            got: vec![],
+        }));
+        let down = k.add_module(Box::new(Term {
+            name: "down",
+            got: vec![],
+        }));
         let rc = k.add_module(Box::new(
             RootComplex::new("rc", RootComplexConfig::default(), host, down).with_device_range(BAR),
         ));
         let p = Packet::request(0, MemCmd::ReadReq, 0x8000, 256, 0);
-        k.schedule(0, rc, Msg::Packet(p));
+        k.schedule(0, rc, Msg::packet(p));
         k.run_until_idle().unwrap();
         let got = &k.module::<Term>(host).unwrap().got;
         assert_eq!(got, &vec![(units::ns(150.0), MemCmd::ReadReq)]);
@@ -281,13 +288,19 @@ mod tests {
     #[test]
     fn mmio_requests_head_downstream() {
         let mut k = Kernel::new();
-        let host = k.add_module(Box::new(Term { got: vec![] }));
-        let down = k.add_module(Box::new(Term { got: vec![] }));
+        let host = k.add_module(Box::new(Term {
+            name: "host",
+            got: vec![],
+        }));
+        let down = k.add_module(Box::new(Term {
+            name: "down",
+            got: vec![],
+        }));
         let rc = k.add_module(Box::new(
             RootComplex::new("rc", RootComplexConfig::default(), host, down).with_device_range(BAR),
         ));
         let p = Packet::request(0, MemCmd::WriteReq, BAR.base + 0x10, 8, 0);
-        k.schedule(0, rc, Msg::Packet(p));
+        k.schedule(0, rc, Msg::packet(p));
         k.run_until_idle().unwrap();
         assert_eq!(k.module::<Term>(down).unwrap().got.len(), 1);
         assert!(k.module::<Term>(host).unwrap().got.is_empty());
@@ -296,9 +309,18 @@ mod tests {
     #[test]
     fn responses_split_by_destination_side() {
         let mut k = Kernel::new();
-        let host = k.add_module(Box::new(Term { got: vec![] }));
-        let down = k.add_module(Box::new(Term { got: vec![] }));
-        let sw = k.add_module(Box::new(Term { got: vec![] }));
+        let host = k.add_module(Box::new(Term {
+            name: "host",
+            got: vec![],
+        }));
+        let down = k.add_module(Box::new(Term {
+            name: "down",
+            got: vec![],
+        }));
+        let sw = k.add_module(Box::new(Term {
+            name: "sw",
+            got: vec![],
+        }));
         let rc = k.add_module(Box::new(
             RootComplex::new("rc", RootComplexConfig::default(), host, down)
                 .with_device_range(BAR)
@@ -307,11 +329,11 @@ mod tests {
         // Completion for the device (next hop = switch): exits down_link.
         let mut cpl = Packet::request(0, MemCmd::ReadReq, 0x1000, 64, 0).to_response();
         cpl.route.push(sw);
-        k.schedule(0, rc, Msg::Packet(cpl));
+        k.schedule(0, rc, Msg::packet(cpl));
         // Completion for a host module.
         let mut cpl2 = Packet::request(1, MemCmd::ReadReq, BAR.base, 8, 0).to_response();
         cpl2.route.push(host);
-        k.schedule(0, rc, Msg::Packet(cpl2));
+        k.schedule(0, rc, Msg::packet(cpl2));
         k.run_until_idle().unwrap();
         assert_eq!(k.module::<Term>(down).unwrap().got.len(), 1);
         assert_eq!(k.module::<Term>(host).unwrap().got.len(), 1);
@@ -320,8 +342,14 @@ mod tests {
     #[test]
     fn tlp_rate_limits_pipeline() {
         let mut k = Kernel::new();
-        let host = k.add_module(Box::new(Term { got: vec![] }));
-        let down = k.add_module(Box::new(Term { got: vec![] }));
+        let host = k.add_module(Box::new(Term {
+            name: "host",
+            got: vec![],
+        }));
+        let down = k.add_module(Box::new(Term {
+            name: "down",
+            got: vec![],
+        }));
         let cfg = RootComplexConfig {
             latency_ns: 150.0,
             tlp_proc_ns: 10.0,
@@ -330,7 +358,7 @@ mod tests {
         let rc = k.add_module(Box::new(RootComplex::new("rc", cfg, host, down)));
         for i in 0..3 {
             let p = Packet::request(i, MemCmd::ReadReq, 0x100, 64, 0);
-            k.schedule(0, rc, Msg::Packet(p));
+            k.schedule(0, rc, Msg::packet(p));
         }
         k.run_until_idle().unwrap();
         let times: Vec<Tick> = k

@@ -153,11 +153,12 @@ mod tests {
 
     /// Terminal that records arrivals.
     struct Term {
+        name: &'static str,
         got: Vec<(Tick, u64)>,
     }
     impl Module for Term {
         fn name(&self) -> &str {
-            "term"
+            self.name
         }
         fn handle(&mut self, msg: Msg, ctx: &mut Ctx) {
             if let Msg::Packet(p) = msg {
@@ -169,9 +170,18 @@ mod tests {
     #[test]
     fn requests_route_by_bar_and_add_latency() {
         let mut k = Kernel::new();
-        let up = k.add_module(Box::new(Term { got: vec![] }));
-        let down = k.add_module(Box::new(Term { got: vec![] }));
-        let ep = k.add_module(Box::new(Term { got: vec![] }));
+        let up = k.add_module(Box::new(Term {
+            name: "up",
+            got: vec![],
+        }));
+        let down = k.add_module(Box::new(Term {
+            name: "down",
+            got: vec![],
+        }));
+        let ep = k.add_module(Box::new(Term {
+            name: "ep",
+            got: vec![],
+        }));
         let sw = k.add_module(Box::new(
             PcieSwitch::new("sw", PcieSwitchConfig::default(), up).with_port(SwitchPort {
                 egress_link: down,
@@ -182,8 +192,8 @@ mod tests {
         // Device-addressed request goes down; host-addressed goes up.
         let p1 = Packet::request(0, MemCmd::WriteReq, 0x1_0000_0040, 64, 0);
         let p2 = Packet::request(1, MemCmd::ReadReq, 0x4000, 64, 0);
-        k.schedule(0, sw, Msg::Packet(p1));
-        k.schedule(0, sw, Msg::Packet(p2));
+        k.schedule(0, sw, Msg::packet(p1));
+        k.schedule(0, sw, Msg::packet(p2));
         k.run_until_idle().unwrap();
         let down_got = &k.module::<Term>(down).unwrap().got;
         let up_got = &k.module::<Term>(up).unwrap().got;
@@ -197,9 +207,18 @@ mod tests {
     #[test]
     fn responses_follow_route_stack() {
         let mut k = Kernel::new();
-        let up = k.add_module(Box::new(Term { got: vec![] }));
-        let down = k.add_module(Box::new(Term { got: vec![] }));
-        let ep = k.add_module(Box::new(Term { got: vec![] }));
+        let up = k.add_module(Box::new(Term {
+            name: "up",
+            got: vec![],
+        }));
+        let down = k.add_module(Box::new(Term {
+            name: "down",
+            got: vec![],
+        }));
+        let ep = k.add_module(Box::new(Term {
+            name: "ep",
+            got: vec![],
+        }));
         let sw = k.add_module(Box::new(
             PcieSwitch::new("sw", PcieSwitchConfig::default(), up).with_port(SwitchPort {
                 egress_link: down,
@@ -211,10 +230,10 @@ mod tests {
         // downstream egress; one for anything else goes upstream.
         let mut cpl = Packet::request(0, MemCmd::ReadReq, 0, 64, 0).to_response();
         cpl.route.push(ep);
-        k.schedule(0, sw, Msg::Packet(cpl));
+        k.schedule(0, sw, Msg::packet(cpl));
         let mut cpl2 = Packet::request(1, MemCmd::ReadReq, 0, 64, 0).to_response();
         cpl2.route.push(up); // some host-side module
-        k.schedule(0, sw, Msg::Packet(cpl2));
+        k.schedule(0, sw, Msg::packet(cpl2));
         k.run_until_idle().unwrap();
         assert_eq!(k.module::<Term>(down).unwrap().got.len(), 1);
         assert_eq!(k.module::<Term>(up).unwrap().got.len(), 1);
@@ -223,7 +242,10 @@ mod tests {
     #[test]
     fn tlp_rate_limit_spaces_back_to_back_tlps() {
         let mut k = Kernel::new();
-        let up = k.add_module(Box::new(Term { got: vec![] }));
+        let up = k.add_module(Box::new(Term {
+            name: "up",
+            got: vec![],
+        }));
         let cfg = PcieSwitchConfig {
             latency_ns: 50.0,
             tlp_proc_ns: 8.0,
@@ -231,7 +253,7 @@ mod tests {
         let sw = k.add_module(Box::new(PcieSwitch::new("sw", cfg, up)));
         for i in 0..4 {
             let p = Packet::request(i, MemCmd::ReadReq, 0x100, 64, 0);
-            k.schedule(0, sw, Msg::Packet(p));
+            k.schedule(0, sw, Msg::packet(p));
         }
         k.run_until_idle().unwrap();
         let got = &k.module::<Term>(up).unwrap().got;

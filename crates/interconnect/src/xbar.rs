@@ -145,7 +145,7 @@ mod tests {
             self.next += 1;
             let mut p = Packet::request(ctx.alloc_pkt_id(), MemCmd::ReadReq, addr, 64, ctx.now());
             p.route.push(ctx.self_id());
-            ctx.send(self.bus, 0, Msg::Packet(p));
+            ctx.send(self.bus, 0, Msg::packet(p));
         }
     }
 

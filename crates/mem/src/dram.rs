@@ -136,7 +136,9 @@ impl Bank {
 
 #[derive(Debug)]
 struct Pending {
-    pkt: Packet,
+    // Boxed by the Msg that delivered it; the same box is re-sent as the
+    // response, so a DRAM transaction never reallocates its packet.
+    pkt: Box<Packet>,
     arrived: Tick,
     bank: u32,
     row: u64,
@@ -529,7 +531,7 @@ mod tests {
             let mut p =
                 Packet::request(ctx.alloc_pkt_id(), MemCmd::ReadReq, a, self.size, ctx.now());
             p.route.push(ctx.self_id());
-            ctx.send(self.mem, 0, Msg::Packet(p));
+            ctx.send(self.mem, 0, Msg::packet(p));
         }
     }
 

@@ -35,7 +35,7 @@ impl Default for SimpleMemoryConfig {
 /// let cfg = SimpleMemoryConfig { latency_ns: 10.0, bandwidth_gbps: 8.0 };
 /// let mem = kernel.add_module(Box::new(SimpleMemory::new("dram", cfg)));
 /// let pkt = Packet::request(0, MemCmd::ReadReq, 0x80, 64, 0);
-/// kernel.schedule(0, mem, Msg::Packet(pkt));
+/// kernel.schedule(0, mem, Msg::packet(pkt));
 /// // 64 B at 8 GB/s = 8 ns serialization + 10 ns latency: response at 18 ns.
 /// // (The response is dropped here because the route stack is empty.)
 /// ```
@@ -158,7 +158,7 @@ mod tests {
                             ctx.now(),
                         );
                         p.route.push(ctx.self_id());
-                        ctx.send(self.mem, 0, Msg::Packet(p));
+                        ctx.send(self.mem, 0, Msg::packet(p));
                     }
                 }
                 Msg::Packet(p) => {

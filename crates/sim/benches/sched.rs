@@ -1,0 +1,156 @@
+//! Scheduler microbenchmarks: schedule/drain throughput of the kernel's
+//! two-level [`EventQueue`] against the [`BaselineQueue`] reference heap,
+//! plus a fig2-style end-to-end kernel run over the packet hot path.
+//!
+//! Run with `cargo bench -p accesys-sim`. The workload lives in
+//! [`accesys_sim::sched::bench_support`], shared with the `perf` bin in
+//! `accesys-bench` that records the numbers in `BENCH_kernel.json` —
+//! tweak the profile there and both stay in sync.
+
+use accesys_sim::sched::bench_support::{kernel_schedule_drain, queue_schedule_drain};
+use accesys_sim::{
+    units, BaselineQueue, Ctx, EventQueue, Kernel, MemCmd, Module, ModuleId, Msg, Packet,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sample_packet(now: u64) -> Packet {
+    Packet::request(now, MemCmd::ReadReq, 0x4000 + now * 64, 64, now)
+}
+
+/// Fig2-style end-to-end: a requester streams read requests through a
+/// fixed-latency link into a memory that responds, with a bounded
+/// request window — the packet/credit shape of the real topology without
+/// depending on the upper crates.
+mod pipeline {
+    use super::*;
+
+    pub struct Requester {
+        pub link: ModuleId,
+        pub window: u32,
+        pub inflight: u32,
+        pub remaining: u64,
+        pub done: u64,
+    }
+
+    impl Requester {
+        fn issue(&mut self, ctx: &mut Ctx) {
+            while self.inflight < self.window && self.remaining > 0 {
+                self.remaining -= 1;
+                self.inflight += 1;
+                let mut p = Packet::request(
+                    ctx.alloc_pkt_id(),
+                    MemCmd::ReadReq,
+                    0x1000 + self.remaining * 64,
+                    64,
+                    ctx.now(),
+                );
+                p.route.push(ctx.self_id());
+                ctx.send(self.link, 0, Msg::packet(p));
+            }
+        }
+    }
+
+    impl Module for Requester {
+        fn name(&self) -> &str {
+            "req"
+        }
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx) {
+            match msg {
+                Msg::Timer(_) => self.issue(ctx),
+                Msg::Packet(_) => {
+                    self.inflight -= 1;
+                    self.done += 1;
+                    self.issue(ctx);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    pub struct Wire {
+        pub name: &'static str,
+        pub dst: ModuleId,
+        pub latency: u64,
+    }
+
+    impl Module for Wire {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx) {
+            if let Msg::Packet(p) = msg {
+                ctx.send(self.dst, self.latency, Msg::Packet(p));
+            }
+        }
+    }
+
+    pub struct Mem {
+        pub latency: u64,
+    }
+
+    impl Module for Mem {
+        fn name(&self) -> &str {
+            "mem"
+        }
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx) {
+            if let Msg::Packet(mut p) = msg {
+                p.make_response();
+                if let Some(next) = p.route.pop() {
+                    ctx.send(next, self.latency, Msg::Packet(p));
+                }
+            }
+        }
+    }
+}
+
+/// Run the request/response pipeline to completion; returns events.
+fn pipeline_run(requests: u64) -> u64 {
+    let mut k = Kernel::new();
+    let req_slot = k.add_placeholder();
+    let mem = k.add_module(Box::new(pipeline::Mem {
+        latency: units::ns(40.0),
+    }));
+    let down = k.add_module(Box::new(pipeline::Wire {
+        name: "down",
+        dst: mem,
+        latency: units::ns(150.0),
+    }));
+    k.set_module(
+        req_slot,
+        Box::new(pipeline::Requester {
+            link: down,
+            window: 32,
+            inflight: 0,
+            remaining: requests,
+            done: 0,
+        }),
+    );
+    k.schedule(0, req_slot, Msg::Timer(0));
+    k.run_until_idle().unwrap();
+    k.events_processed()
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_drain");
+    group.sample_size(10);
+    group.bench_function("kernel_200k", |b| {
+        b.iter(|| kernel_schedule_drain(200_000, 1024))
+    });
+    group.bench_function("two_level_200k", |b| {
+        b.iter(|| queue_schedule_drain(&mut EventQueue::new(), 200_000, 1024, sample_packet))
+    });
+    group.bench_function("baseline_heap_200k", |b| {
+        b.iter(|| queue_schedule_drain(&mut BaselineQueue::new(), 200_000, 1024, sample_packet))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("e2e");
+    group.sample_size(10);
+    group.bench_function("fig2_style_pipeline_50k", |b| {
+        b.iter(|| pipeline_run(50_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

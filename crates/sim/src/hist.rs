@@ -3,7 +3,8 @@
 /// A power-of-two-bucketed histogram of non-negative samples.
 ///
 /// Buckets cover `[2^i, 2^(i+1))`; bucket 0 additionally holds samples in
-/// `[0, 1)`. Designed for latency distributions where the interesting
+/// `[0, 1)`, and the top bucket (63) is unbounded above, absorbing every
+/// sample ≥ 2^63. Designed for latency distributions where the interesting
 /// questions are "what is the p99?" and "how long is the tail?", not the
 /// exact shape. Observation is O(1) and the footprint is fixed, so every
 /// module can afford one per traffic class.
@@ -37,8 +38,13 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// Number of buckets; the top bucket absorbs everything ≥ 2^62.
+    /// Number of buckets. Bucket `i` covers `[2^i, 2^(i+1))` except at
+    /// the edges: bucket 0 also holds `[0, 1)`, and the top bucket (63)
+    /// is unbounded — it absorbs everything ≥ 2^63.
     const NUM_BUCKETS: usize = 64;
+
+    /// Index of the unbounded top bucket.
+    const TOP_BUCKET: usize = Self::NUM_BUCKETS - 1;
 
     /// An empty histogram.
     pub fn new() -> Self {
@@ -56,7 +62,8 @@ impl Histogram {
             return 0;
         }
         let exp = value.log2().floor() as usize;
-        exp.min(Self::NUM_BUCKETS - 1)
+        // Values ≥ 2^63 clamp into the unbounded top bucket.
+        exp.min(Self::TOP_BUCKET)
     }
 
     /// Record one sample. Negative samples are clamped to zero.
@@ -111,7 +118,9 @@ impl Histogram {
     ///
     /// The result is an upper bound, not an interpolation: a return of 16
     /// means "the p-th sample was < 16". Bucket resolution is a factor of
-    /// two, which is plenty for latency triage.
+    /// two, which is plenty for latency triage. The top bucket has no
+    /// finite bucket boundary (it absorbs everything ≥ 2^63), so a rank
+    /// landing there reports the exact observed maximum instead.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -122,7 +131,13 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return (1u64 << (i + 1).min(63)) as f64;
+                return if i == Self::TOP_BUCKET {
+                    // Unbounded bucket: 2^64 would be a lie and 2^63 is
+                    // its *lower* bound; the true max is a real bound.
+                    self.max
+                } else {
+                    (1u64 << (i + 1)) as f64
+                };
             }
         }
         self.max
@@ -155,6 +170,10 @@ impl Histogram {
     }
 
     /// Iterate over non-empty buckets as `(lower_bound, count)`.
+    ///
+    /// Lower bounds are exact for every bucket, including the top one
+    /// (2^63) — but note the top bucket is unbounded above, so its count
+    /// covers `[2^63, ∞)` rather than a power-of-two span.
     pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         self.buckets
             .iter()
@@ -253,5 +272,30 @@ mod tests {
         h.observe(f64::MAX);
         assert_eq!(h.count(), 1);
         assert!(h.percentile(100.0) > 0.0);
+    }
+
+    #[test]
+    fn top_bucket_agrees_across_bucket_of_percentile_and_iter() {
+        // Regression: samples ≥ 2^63 land in the unbounded top bucket;
+        // percentile must not report the bucket's lower bound (2^63) as
+        // an upper bound for them.
+        let two63 = (1u64 << 63) as f64;
+        let mut h = Histogram::new();
+        for _ in 0..3 {
+            h.observe(10.0); // bucket [8, 16)
+        }
+        h.observe(two63);
+        h.observe(two63 * 4.0);
+        h.observe(f64::MAX);
+        // Ranks inside finite buckets still report bucket upper bounds.
+        assert_eq!(h.percentile(50.0), 16.0);
+        // Ranks in the top bucket report the observed max, which really
+        // does bound every sample — 2^63 would not.
+        assert_eq!(h.percentile(100.0), f64::MAX);
+        assert!(h.percentile(100.0) >= two63 * 4.0);
+        // iter reports the top bucket's exact lower bound with all three
+        // huge samples counted in it.
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(buckets, vec![(8.0, 3), (two63, 3)]);
     }
 }

@@ -1,8 +1,6 @@
 //! The event kernel: ordered event queue plus the module registry.
 
-use crate::{Module, ModuleId, Msg, Stats, Tick, Tracer};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::{EventQueue, Module, ModuleId, Msg, Stats, Tick, Tracer};
 
 /// Error returned by [`Kernel::run_until_idle`] and friends.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,8 +33,16 @@ impl std::error::Error for SimError {}
 #[derive(Copy, Clone, Debug)]
 pub struct RunLimit {
     /// Maximum number of events to process before aborting.
+    ///
+    /// `u64::MAX` means "unlimited": the budget saturates rather than
+    /// overflowing, whatever the kernel's prior event count.
     pub max_events: u64,
-    /// Stop (successfully) once simulated time passes this tick.
+    /// Time bound. The run returns successfully *before* delivering the
+    /// first event scheduled after this tick: events with
+    /// `when <= max_time` are all delivered, later ones stay queued (a
+    /// follow-up `run` picks them up). The kernel's clock is **not**
+    /// advanced to `max_time` — [`Kernel::now`] remains the tick of the
+    /// last event actually delivered.
     pub max_time: Tick,
 }
 
@@ -46,31 +52,6 @@ impl Default for RunLimit {
             max_events: 2_000_000_000,
             max_time: Tick::MAX,
         }
-    }
-}
-
-struct Ev {
-    when: Tick,
-    seq: u64,
-    dst: ModuleId,
-    msg: Msg,
-}
-
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        self.when == other.when && self.seq == other.seq
-    }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed so the BinaryHeap pops the earliest (when, seq) first.
-        (other.when, other.seq).cmp(&(self.when, self.seq))
     }
 }
 
@@ -114,11 +95,12 @@ impl Ctx<'_> {
     /// use accesys_sim::{Ctx, Kernel, Module, ModuleId, Msg, units};
     ///
     /// struct Relay {
+    ///     name: &'static str,
     ///     peer: ModuleId,
     /// }
     /// impl Module for Relay {
     ///     fn name(&self) -> &str {
-    ///         "relay"
+    ///         self.name
     ///     }
     ///     fn handle(&mut self, msg: Msg, ctx: &mut Ctx) {
     ///         if let (Msg::Timer(tag), true) = (&msg, self.peer.is_valid()) {
@@ -129,8 +111,8 @@ impl Ctx<'_> {
     /// }
     ///
     /// let mut kernel = Kernel::new();
-    /// let sink = kernel.add_module(Box::new(Relay { peer: ModuleId::INVALID }));
-    /// let relay = kernel.add_module(Box::new(Relay { peer: sink }));
+    /// let sink = kernel.add_module(Box::new(Relay { name: "sink", peer: ModuleId::INVALID }));
+    /// let relay = kernel.add_module(Box::new(Relay { name: "relay", peer: sink }));
     /// kernel.schedule(units::ns(1.0), relay, Msg::Timer(7));
     /// let end = kernel.run_until_idle().unwrap();
     /// assert_eq!(end, units::ns(3.0)); // 1 ns kick-off + 2 ns forward
@@ -162,10 +144,18 @@ impl Ctx<'_> {
 /// The discrete-event simulator: owns all modules and the event queue.
 ///
 /// Events are processed in a strict `(tick, sequence)` total order: time
-/// first, insertion order among simultaneous events. A kernel owns its
-/// whole world — modules, queue, packet-id allocator — so independent
-/// kernels never share state and can run on separate threads (the
-/// contract the parallel sweep engine in `accesys-exp` relies on).
+/// first, insertion order among simultaneous events. The queue behind
+/// that order is the two-level [`EventQueue`] (calendar ring + overflow
+/// heap); it drains in exactly the order a plain binary heap would, just
+/// faster. A kernel owns its whole world — modules, queue, packet-id
+/// allocator — so independent kernels never share state and can run on
+/// separate threads (the contract the parallel sweep engine in
+/// `accesys-exp` relies on).
+///
+/// Module names must be unique within a kernel: statistics are keyed by
+/// `"<name>.<counter>"`, so [`Kernel::add_module`] and
+/// [`Kernel::set_module`] panic on a duplicate rather than letting two
+/// modules silently merge their counters.
 ///
 /// ```
 /// use accesys_sim::{Ctx, Kernel, Module, Msg, Stats, units};
@@ -197,7 +187,7 @@ pub struct Kernel {
     time: Tick,
     seq: u64,
     next_pkt_id: u64,
-    queue: BinaryHeap<Ev>,
+    queue: EventQueue<(ModuleId, Msg)>,
     modules: Vec<Box<dyn Module>>,
     events_processed: u64,
     out_buf: Vec<(Tick, ModuleId, Msg)>,
@@ -217,7 +207,7 @@ impl Kernel {
             time: 0,
             seq: 0,
             next_pkt_id: 0,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             modules: Vec::new(),
             events_processed: 0,
             out_buf: Vec::new(),
@@ -244,10 +234,30 @@ impl Kernel {
     }
 
     /// Register a module and return its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another registered module already uses the same name:
+    /// stats are keyed by `"<name>.<counter>"`, and a duplicate name
+    /// would silently merge two modules' counters.
     pub fn add_module(&mut self, module: Box<dyn Module>) -> ModuleId {
+        self.assert_unique_name(module.name(), None);
         let id = ModuleId::from_index(self.modules.len());
         self.modules.push(module);
         id
+    }
+
+    /// Panic if `name` is already taken by a module other than `skip`.
+    fn assert_unique_name(&self, name: &str, skip: Option<usize>) {
+        for (i, existing) in self.modules.iter().enumerate() {
+            if Some(i) != skip && existing.name() == name {
+                panic!(
+                    "duplicate module name {name:?} (already registered as {}); \
+                     module names key per-module stats and must be unique",
+                    ModuleId::from_index(i)
+                );
+            }
+        }
     }
 
     /// Reserve a module slot, returning its id before the module exists.
@@ -257,10 +267,12 @@ impl Kernel {
     /// modules and install them with [`Kernel::set_module`]. Delivering a
     /// message to an unfilled placeholder panics.
     pub fn add_placeholder(&mut self) -> ModuleId {
-        struct Placeholder;
+        struct Placeholder {
+            name: String,
+        }
         impl Module for Placeholder {
             fn name(&self) -> &str {
-                "placeholder"
+                &self.name
             }
             fn handle(&mut self, _msg: Msg, ctx: &mut Ctx) {
                 panic!(
@@ -269,15 +281,21 @@ impl Kernel {
                 );
             }
         }
-        self.add_module(Box::new(Placeholder))
+        // Indexed name so placeholders satisfy the uniqueness check that
+        // add_module applies to every registration.
+        let name = format!("placeholder{}", self.modules.len());
+        self.add_module(Box::new(Placeholder { name }))
     }
 
     /// Install `module` into a slot reserved by [`Kernel::add_placeholder`].
     ///
     /// # Panics
     ///
-    /// Panics if `id` was never allocated.
+    /// Panics if `id` was never allocated, or if the module's name is
+    /// already taken by a module in another slot (see
+    /// [`Kernel::add_module`]).
     pub fn set_module(&mut self, id: ModuleId, module: Box<dyn Module>) {
+        self.assert_unique_name(module.name(), Some(id.index()));
         let slot = self
             .modules
             .get_mut(id.index())
@@ -300,6 +318,12 @@ impl Kernel {
         self.events_processed
     }
 
+    /// High-water mark of the event queue (pending events), for capacity
+    /// planning and the perf harness.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue.peak_len()
+    }
+
     /// Schedule a message from outside any module (used to kick off runs).
     pub fn schedule(&mut self, at: Tick, dst: ModuleId, msg: Msg) {
         assert!(dst.is_valid(), "schedule to invalid module id");
@@ -307,14 +331,8 @@ impl Kernel {
             dst.index() < self.modules.len(),
             "schedule to unknown module {dst}"
         );
-        let ev = Ev {
-            when: at.max(self.time),
-            seq: self.seq,
-            dst,
-            msg,
-        };
+        self.queue.push(at.max(self.time), self.seq, (dst, msg));
         self.seq += 1;
-        self.queue.push(ev);
     }
 
     /// Run until the event queue drains, with default [`RunLimit`]s.
@@ -329,6 +347,11 @@ impl Kernel {
 
     /// Run until idle, a time bound, or an event budget — whichever first.
     ///
+    /// Stopping on `limit.max_time` is not an error: every event at or
+    /// before the bound is delivered, the first event past it stays
+    /// queued, and the clock is left at the last delivered event's tick
+    /// (see [`RunLimit::max_time`]).
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::EventLimitExceeded`] if `limit.max_events` is
@@ -339,9 +362,11 @@ impl Kernel {
         // are still buffered; discard them rather than deliver them as if
         // the handler had completed.
         self.out_buf.clear();
-        let budget_end = self.events_processed + limit.max_events;
-        while let Some(ev) = self.queue.peek() {
-            if ev.when > limit.max_time {
+        // Saturating: max_events = u64::MAX means "unlimited" and must
+        // not overflow when added to a prior run's event count.
+        let budget_end = self.events_processed.saturating_add(limit.max_events);
+        while let Some(when) = self.queue.peek_when() {
+            if when > limit.max_time {
                 break;
             }
             if self.events_processed >= budget_end {
@@ -350,9 +375,9 @@ impl Kernel {
                     at: self.time,
                 });
             }
-            let ev = self.queue.pop().expect("peeked event vanished");
-            debug_assert!(ev.when >= self.time, "time went backwards");
-            self.time = ev.when;
+            let (when, _seq, (dst, msg)) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(when >= self.time, "time went backwards");
+            self.time = when;
             self.events_processed += 1;
 
             {
@@ -368,30 +393,25 @@ impl Kernel {
                     ..
                 } = self;
                 let module = modules
-                    .get_mut(ev.dst.index())
-                    .unwrap_or_else(|| panic!("event for unknown module {}", ev.dst));
+                    .get_mut(dst.index())
+                    .unwrap_or_else(|| panic!("event for unknown module {dst}"));
                 if let Some(tracer) = tracer.as_mut() {
-                    tracer.on_event(ev.when, ev.dst, module.name(), &ev.msg);
+                    tracer.on_event(when, dst, module.name(), &msg);
                 }
                 let mut ctx = Ctx {
                     now: *time,
-                    self_id: ev.dst,
+                    self_id: dst,
                     out: out_buf,
                     next_pkt_id,
                 };
-                module.handle(ev.msg, &mut ctx);
+                module.handle(msg, &mut ctx);
             }
             for (when, dst, msg) in self.out_buf.drain(..) {
                 assert!(
                     dst.index() < self.modules.len(),
                     "message sent to unknown module {dst}"
                 );
-                self.queue.push(Ev {
-                    when,
-                    seq: self.seq,
-                    dst,
-                    msg,
-                });
+                self.queue.push(when, self.seq, (dst, msg));
                 self.seq += 1;
             }
         }
@@ -423,6 +443,7 @@ impl Kernel {
         }
         all.add("kernel.events", self.events_processed as f64);
         all.add("kernel.final_tick", self.time as f64);
+        all.add("kernel.peak_queue_depth", self.queue.peak_len() as f64);
         all
     }
 }
@@ -596,6 +617,73 @@ mod tests {
         // Resuming the kernel must not deliver the aborted handler's send.
         k.run_until_idle().unwrap();
         assert!(k.module::<Recorder>(sink).unwrap().log.is_empty());
+    }
+
+    #[test]
+    fn unlimited_event_budget_does_not_overflow() {
+        // Regression: `events_processed + u64::MAX` used to overflow in
+        // debug builds once any events had been processed.
+        let mut k = Kernel::new();
+        let a = k.add_module(recorder("a", ModuleId::INVALID));
+        k.schedule(0, a, Msg::Timer(0));
+        k.run_until_idle().unwrap(); // events_processed is now nonzero
+        k.schedule(k.now() + 1, a, Msg::Timer(1));
+        k.run(RunLimit {
+            max_events: u64::MAX,
+            max_time: Tick::MAX,
+        })
+        .unwrap();
+        assert_eq!(k.module::<Recorder>(a).unwrap().log.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate module name")]
+    fn duplicate_module_names_panic_at_registration() {
+        let mut k = Kernel::new();
+        k.add_module(recorder("twin", ModuleId::INVALID));
+        k.add_module(recorder("twin", ModuleId::INVALID));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate module name")]
+    fn set_module_rejects_a_name_taken_by_another_slot() {
+        let mut k = Kernel::new();
+        k.add_module(recorder("taken", ModuleId::INVALID));
+        let slot = k.add_placeholder();
+        k.set_module(slot, recorder("taken", ModuleId::INVALID));
+    }
+
+    #[test]
+    fn set_module_may_reuse_its_own_slots_name() {
+        // Replacing a module with a same-named one (e.g. re-installing
+        // over a previous install) is not a duplicate.
+        let mut k = Kernel::new();
+        let slot = k.add_placeholder();
+        k.set_module(slot, recorder("self", ModuleId::INVALID));
+        k.set_module(slot, recorder("self", ModuleId::INVALID));
+        assert_eq!(k.module_count(), 1);
+    }
+
+    #[test]
+    fn placeholders_do_not_collide_with_each_other() {
+        let mut k = Kernel::new();
+        let a = k.add_placeholder();
+        let b = k.add_placeholder();
+        k.set_module(a, recorder("left", ModuleId::INVALID));
+        k.set_module(b, recorder("right", ModuleId::INVALID));
+        assert_eq!(k.module_count(), 2);
+    }
+
+    #[test]
+    fn peak_queue_depth_is_reported() {
+        let mut k = Kernel::new();
+        let a = k.add_module(recorder("a", ModuleId::INVALID));
+        for i in 0..5 {
+            k.schedule(i, a, Msg::Timer(i));
+        }
+        assert_eq!(k.peak_queue_depth(), 5);
+        k.run_until_idle().unwrap();
+        assert_eq!(k.stats().get("kernel.peak_queue_depth"), Some(5.0));
     }
 
     #[test]

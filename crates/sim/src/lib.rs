@@ -34,6 +34,7 @@ mod hist;
 mod kernel;
 mod msg;
 mod packet;
+pub mod sched;
 mod stats;
 mod trace;
 pub mod units;
@@ -62,6 +63,7 @@ pub use hist::Histogram;
 pub use kernel::{Ctx, Kernel, RunLimit, SimError};
 pub use msg::{CreditClass, Msg};
 pub use packet::{MemCmd, Packet, RouteStack, MAX_ROUTE_DEPTH};
+pub use sched::{BaselineQueue, EventQueue};
 pub use stats::Stats;
 pub use trace::{PacketTrace, TraceRow, Tracer};
 

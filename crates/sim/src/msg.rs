@@ -36,10 +36,19 @@ impl CreditClass {
 }
 
 /// A message delivered to a [`crate::Module`].
+///
+/// `Msg` values are the payload of every event-queue node, so the enum is
+/// deliberately kept small (currently 24 bytes): the large [`Packet`]
+/// body lives behind a box, which keeps queue operations from memcpying
+/// ~100-byte packets on every sift. Forwarding modules move the box
+/// through unchanged, so a packet is allocated once per hop at most —
+/// construct with [`Msg::packet`] and re-send the received box when
+/// relaying.
 #[derive(Debug)]
 pub enum Msg {
-    /// A memory transaction or PCIe TLP (the hot path).
-    Packet(Packet),
+    /// A memory transaction or PCIe TLP (the hot path). Boxed so event
+    /// nodes stay small; see [`Msg::packet`].
+    Packet(Box<Packet>),
     /// Flow-control credit return for `bytes` of buffer space.
     Credit {
         /// Credit pool being replenished.
@@ -57,6 +66,11 @@ pub enum Msg {
 }
 
 impl Msg {
+    /// Wrap a packet (boxing it; see the enum-level note on node size).
+    pub fn packet(pkt: Packet) -> Self {
+        Msg::Packet(Box::new(pkt))
+    }
+
     /// Wrap a control-plane value.
     pub fn custom<T: Any + Send>(value: T) -> Self {
         Msg::Custom(Box::new(value))
@@ -98,6 +112,17 @@ mod tests {
         let msg = Msg::custom(Doorbell(7));
         let back = msg.into_custom::<String>().unwrap_err();
         assert!(back.into_custom::<Doorbell>().is_ok());
+    }
+
+    #[test]
+    fn msg_nodes_stay_small() {
+        // The whole point of boxing Packet: event-queue nodes must not
+        // regress back to carrying packet bodies inline.
+        assert!(
+            std::mem::size_of::<Msg>() <= 24,
+            "Msg grew to {} bytes",
+            std::mem::size_of::<Msg>()
+        );
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub struct TraceRow {
 /// let mut kernel = Kernel::new();
 /// let sink = kernel.add_module(Box::new(Sink));
 /// kernel.set_tracer(Box::new(PacketTrace::new(1024).with_filter("mem")));
-/// kernel.schedule(0, sink, Msg::Packet(Packet::request(0, MemCmd::ReadReq, 0x80, 64, 0)));
+/// kernel.schedule(0, sink, Msg::packet(Packet::request(0, MemCmd::ReadReq, 0x80, 64, 0)));
 /// kernel.run_until_idle().unwrap();
 /// let trace = kernel.tracer::<PacketTrace>().unwrap();
 /// assert_eq!(trace.rows().len(), 1);
@@ -179,7 +179,7 @@ mod tests {
         let (mut k, front) = two_hop_kernel();
         k.set_tracer(Box::new(PacketTrace::new(16)));
         let p = Packet::request(7, MemCmd::WriteReq, 0x1000, 128, 0);
-        k.schedule(units::ns(1.0), front, Msg::Packet(p));
+        k.schedule(units::ns(1.0), front, Msg::packet(p));
         k.run_until_idle().unwrap();
         let rows = k.tracer::<PacketTrace>().unwrap().rows().to_vec();
         assert_eq!(rows.len(), 2);
@@ -195,7 +195,7 @@ mod tests {
         let (mut k, front) = two_hop_kernel();
         k.set_tracer(Box::new(PacketTrace::new(16).with_filter("mem")));
         let p = Packet::request(0, MemCmd::ReadReq, 0x40, 64, 0);
-        k.schedule(0, front, Msg::Packet(p));
+        k.schedule(0, front, Msg::packet(p));
         k.run_until_idle().unwrap();
         let trace = k.tracer::<PacketTrace>().unwrap();
         assert_eq!(trace.rows().len(), 1);
@@ -207,7 +207,7 @@ mod tests {
         let (mut k, front) = two_hop_kernel();
         k.set_tracer(Box::new(PacketTrace::new(1)));
         let p = Packet::request(0, MemCmd::ReadReq, 0x40, 64, 0);
-        k.schedule(0, front, Msg::Packet(p));
+        k.schedule(0, front, Msg::packet(p));
         k.run_until_idle().unwrap();
         let trace = k.tracer::<PacketTrace>().unwrap();
         assert_eq!(trace.rows().len(), 1);
@@ -228,7 +228,7 @@ mod tests {
         let (mut k, front) = two_hop_kernel();
         k.set_tracer(Box::new(PacketTrace::new(16)));
         let p = Packet::request(3, MemCmd::ReadReq, 0xABC0, 64, 0);
-        k.schedule(0, front, Msg::Packet(p));
+        k.schedule(0, front, Msg::packet(p));
         k.run_until_idle().unwrap();
         let csv = k.tracer::<PacketTrace>().unwrap().to_csv();
         let lines: Vec<&str> = csv.lines().collect();

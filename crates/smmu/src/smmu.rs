@@ -93,7 +93,7 @@ struct Walk {
     vpn: u64,
     level: u32,
     started: Tick,
-    waiting: Vec<(Packet, Tick)>,
+    waiting: Vec<(Box<Packet>, Tick)>,
 }
 
 /// The System MMU.
@@ -113,7 +113,7 @@ pub struct Smmu {
     /// key: vpn of the penultimate-level table page group.
     walk_cache: HashMap<u64, u64>,
     walks: HashMap<u32, Walk>,
-    walk_queue: VecDeque<(Packet, Tick)>,
+    walk_queue: VecDeque<(Box<Packet>, Tick)>,
     /// vpn -> walk tag, to coalesce concurrent misses on one page.
     walking_vpns: HashMap<u64, u32>,
     next_walk_tag: u32,
@@ -225,7 +225,7 @@ impl Smmu {
         entry & !63
     }
 
-    fn forward_translated(&mut self, mut pkt: Packet, ctx: &mut Ctx) {
+    fn forward_translated(&mut self, mut pkt: Box<Packet>, ctx: &mut Ctx) {
         pkt.addr = self.translate(pkt.addr);
         pkt.virt = false;
         pkt.route.push(ctx.self_id());
@@ -236,7 +236,7 @@ impl Smmu {
         );
     }
 
-    fn start_walk(&mut self, pkt: Packet, arrived: Tick, ctx: &mut Ctx) {
+    fn start_walk(&mut self, pkt: Box<Packet>, arrived: Tick, ctx: &mut Ctx) {
         let vpn = self.vpn_of(pkt.addr);
         if let Some(&tag) = self.walking_vpns.get(&vpn) {
             // Coalesce with the in-flight walk for this page.
@@ -282,7 +282,7 @@ impl Smmu {
         rd.stream = streams::PTW;
         rd.tag = tag;
         rd.route.push(ctx.self_id());
-        ctx.send(self.downstream, 0, Msg::Packet(rd));
+        ctx.send(self.downstream, 0, Msg::packet(rd));
     }
 
     fn finish_walk(&mut self, tag: u32, ctx: &mut Ctx) {
@@ -405,7 +405,7 @@ mod tests {
             p.virt = true;
             p.stream = streams::DMA_BASE;
             p.route.push(ctx.self_id());
-            ctx.send(self.smmu, 0, Msg::Packet(p));
+            ctx.send(self.smmu, 0, Msg::packet(p));
         }
     }
     impl Module for Issuer {
@@ -554,7 +554,7 @@ mod tests {
         }));
         let mut p = Packet::request(7, MemCmd::ReadReq, 0x8000, 64, 0);
         p.route.push(iss);
-        k.schedule(0, smmu, Msg::Packet(p));
+        k.schedule(0, smmu, Msg::packet(p));
         k.run_until_idle().unwrap();
         let done = &k.module::<Issuer>(iss).unwrap().done;
         assert_eq!(done[0].0, 0x8000);
