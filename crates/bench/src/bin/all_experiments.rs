@@ -35,6 +35,7 @@ fn main() {
         ("fig9", accesys_bench::fig9::run_cli),
         ("cxl", accesys_bench::cxl::run_cli),
         ("cluster", accesys_bench::cluster::run_cli),
+        ("topo", accesys_bench::topo::run_cli),
         ("energy", accesys_bench::energy::run_cli),
     ];
     let start = Instant::now();

@@ -1,0 +1,11 @@
+//! Topology-scaling sweep: switch-tree depth × fan-out (extension).
+
+use accesys_bench::cli::{self, Cli};
+
+fn main() {
+    let cli = Cli::from_env("topo_scaling");
+    let value = accesys_bench::topo::run_cli(&cli);
+    if cli.json {
+        cli::emit_json(&value);
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::cli::Cli;
 use crate::Scale;
+use accesys::topology::switch_tree;
 use accesys::{Simulation, SystemConfig};
 use accesys_exp::{Experiment, Grid, Jobs};
 use accesys_mem::MemTech;
@@ -34,8 +35,11 @@ pub fn matrix_size(scale: Scale) -> u32 {
     scale.pick(256, 2048)
 }
 
-fn sharded_time(cfg: SystemConfig, matrix: u32) -> f64 {
-    let mut sim = Simulation::new(cfg).expect("valid config");
+fn sharded_time(cfg: SystemConfig, cluster: u32, matrix: u32) -> f64 {
+    // The cluster is the depth-1 topology preset: one switch level with
+    // `cluster` endpoints (exactly the Fig. 1 shape, sized up).
+    let spec = switch_tree(&cfg, &[cluster]).expect("cluster sizes are valid trees");
+    let mut sim = Simulation::from_topology(cfg, &spec).expect("valid topology");
     sim.run_gemm_sharded(GemmSpec::square(matrix))
         .expect("sharded gemm completes")
         .total_time_ns()
@@ -46,16 +50,15 @@ pub fn experiment(scale: Scale) -> impl Experiment<Point = u32, Out = ClusterRow
     let matrix = matrix_size(scale);
     Grid::new("cluster", CLUSTER_SIZES).sweep(move |&n| {
         // Compute-bound: artificially slow array, ample bandwidth.
-        let mut compute = SystemConfig::pcie_host(64.0, MemTech::Hbm2)
-            .with_accel_count(n)
-            .with_compute_override_ns(20_000.0);
+        let mut compute =
+            SystemConfig::pcie_host(64.0, MemTech::Hbm2).with_compute_override_ns(20_000.0);
         compute.smmu = None;
         // Transfer-bound: default array on a modest shared link.
-        let transfer = SystemConfig::pcie_host(8.0, MemTech::Ddr4).with_accel_count(n);
+        let transfer = SystemConfig::pcie_host(8.0, MemTech::Ddr4);
         ClusterRow {
             accels: n,
-            compute_bound_ns: sharded_time(compute, matrix),
-            transfer_bound_ns: sharded_time(transfer, matrix),
+            compute_bound_ns: sharded_time(compute, n, matrix),
+            transfer_bound_ns: sharded_time(transfer, n, matrix),
         }
     })
 }

@@ -35,5 +35,6 @@ pub mod scale;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod topo;
 
 pub use scale::Scale;

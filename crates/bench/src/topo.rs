@@ -1,0 +1,200 @@
+//! Extension experiment — topology scaling: switch-tree depth × fan-out.
+//!
+//! The paper's switch exists for "supporting multiple connections and
+//! enhancing scalability"; the topology layer turns its shape into a
+//! swept parameter. This experiment shards one GEMM across every leaf of
+//! a family of PCIe switch trees — from the flat Fig. 1 shape to
+//! cascaded depth-3 trees — and reports how endpoint count buys
+//! parallelism while every extra switch level costs store-and-forward
+//! latency on the shared path to host memory.
+
+use crate::cli::Cli;
+use crate::Scale;
+use accesys::topology::switch_tree;
+use accesys::{Simulation, SystemConfig};
+use accesys_exp::{Experiment, Grid, Jobs};
+use accesys_mem::MemTech;
+use accesys_workload::GemmSpec;
+
+/// Tree shapes swept: per-level fan-outs encoded as `FxF` strings
+/// (`"2x4"` = two switches under the root with four endpoints each).
+/// Flat shapes replay the classic cluster scaling; the deeper shapes
+/// exist only through the topology engine.
+pub const SHAPES: [&str; 8] = ["1", "2", "4", "8", "2x2", "2x4", "4x2", "2x2x2"];
+
+/// One topology measurement.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TopoRow {
+    /// Tree shape (per-level fan-outs, `x`-separated).
+    pub shape: String,
+    /// Switch levels between the root complex and the endpoints.
+    pub depth: u32,
+    /// Leaf endpoints (= accelerators) in the tree.
+    pub endpoints: u32,
+    /// Compute-bound sharded time, ns (slow array override: endpoint
+    /// count should scale near-linearly, switch depth should not hurt).
+    pub compute_bound_ns: f64,
+    /// Transfer-bound sharded time, ns (default array: the shared
+    /// uplink and every extra switch level dominate).
+    pub transfer_bound_ns: f64,
+    /// TLPs that crossed the root switch's uplink in the transfer-bound
+    /// run (shared-path load).
+    pub root_up_tlps: f64,
+}
+
+/// Parse a `FxF` shape string into per-level fan-outs.
+pub fn parse_shape(shape: &str) -> Vec<u32> {
+    shape
+        .split('x')
+        .map(|f| f.parse().expect("shape levels are integers"))
+        .collect()
+}
+
+/// Matrix size at each scale.
+pub fn matrix_size(scale: Scale) -> u32 {
+    scale.pick(256, 2048)
+}
+
+fn sharded_report(cfg: SystemConfig, levels: &[u32], matrix: u32) -> accesys::RunReport {
+    let spec = switch_tree(&cfg, levels).expect("swept shapes are valid");
+    let mut sim = Simulation::from_topology(cfg, &spec).expect("valid topology");
+    sim.run_gemm_sharded(GemmSpec::square(matrix))
+        .expect("sharded gemm completes")
+}
+
+/// Measure one tree shape in both regimes.
+pub fn measure(shape: &str, matrix: u32) -> TopoRow {
+    let levels = parse_shape(shape);
+    // Compute-bound: artificially slow array, ample bandwidth.
+    let mut compute =
+        SystemConfig::pcie_host(64.0, MemTech::Hbm2).with_compute_override_ns(20_000.0);
+    compute.smmu = None;
+    // Transfer-bound: default array on a modest shared link.
+    let transfer = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
+    let compute_report = sharded_report(compute, &levels, matrix);
+    let transfer_report = sharded_report(transfer, &levels, matrix);
+    TopoRow {
+        shape: shape.to_string(),
+        depth: levels.len() as u32,
+        endpoints: levels.iter().product(),
+        compute_bound_ns: compute_report.total_time_ns(),
+        transfer_bound_ns: transfer_report.total_time_ns(),
+        root_up_tlps: transfer_report.stats.get_or_zero("pcie.sw0.up_tlps"),
+    }
+}
+
+/// The sweep as a declarative experiment over [`SHAPES`].
+pub fn experiment(scale: Scale) -> impl Experiment<Point = String, Out = TopoRow> {
+    let matrix = matrix_size(scale);
+    Grid::new("topo_scaling", SHAPES.map(String::from)).sweep(move |s| measure(s, matrix))
+}
+
+/// Run the sweep on `jobs` workers.
+pub fn run_jobs(scale: Scale, jobs: Jobs) -> Vec<TopoRow> {
+    experiment(scale).run(jobs).into_outputs()
+}
+
+/// Run the sweep (worker count from the environment).
+pub fn run(scale: Scale) -> Vec<TopoRow> {
+    run_jobs(scale, Jobs::from_env())
+}
+
+/// Run at the CLI's settings; print the table unless `--json`; return
+/// the machine-readable sweep value.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment(cli.scale), |r| {
+        print(
+            &r.points.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
+            cli.scale,
+        )
+    })
+}
+
+/// Run and print the scaling table.
+pub fn run_and_print(scale: Scale) -> Vec<TopoRow> {
+    let rows = run(scale);
+    print(&rows, scale);
+    rows
+}
+
+/// Print the scaling table.
+pub fn print(rows: &[TopoRow], scale: Scale) {
+    let base_c = rows[0].compute_bound_ns;
+    let base_t = rows[0].transfer_bound_ns;
+    println!(
+        "# Topology scaling (extension): sharded GEMM, matrix {}",
+        matrix_size(scale)
+    );
+    println!(
+        "{:>8} {:>6} {:>10} {:>16} {:>9} {:>17} {:>9} {:>13}",
+        "shape",
+        "depth",
+        "endpoints",
+        "compute-bnd (µs)",
+        "speedup",
+        "transfer-bnd (µs)",
+        "speedup",
+        "root up TLPs"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>6} {:>10} {:>16.1} {:>8.2}x {:>17.1} {:>8.2}x {:>13.0}",
+            r.shape,
+            r.depth,
+            r.endpoints,
+            r.compute_bound_ns / 1000.0,
+            base_c / r.compute_bound_ns,
+            r.transfer_bound_ns / 1000.0,
+            base_t / r.transfer_bound_ns,
+            r.root_up_tlps
+        );
+    }
+    println!("# expected: compute-bound runs scale with endpoints regardless of tree depth;");
+    println!("# transfer-bound runs pay for the shared uplink and every extra switch level");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_two_eight_endpoint_tree_is_in_the_sweep() {
+        // The acceptance shape: a depth-2 tree with 8 endpoints builds,
+        // runs a sharded GEMM, and reports through the sweep.
+        let row = measure("2x4", 128);
+        assert_eq!(row.depth, 2);
+        assert_eq!(row.endpoints, 8);
+        assert!(row.compute_bound_ns > 0.0);
+        assert!(row.transfer_bound_ns > 0.0);
+        assert!(row.root_up_tlps > 0.0);
+        assert!(SHAPES.contains(&"2x4"));
+    }
+
+    #[test]
+    fn flat_shape_matches_the_classic_cluster_preset() {
+        // Shape "4" is the Fig. 1 cluster: same endpoint count, both run.
+        let row = measure("4", 128);
+        assert_eq!(row.depth, 1);
+        assert_eq!(row.endpoints, 4);
+        assert!(row.transfer_bound_ns > 0.0);
+        // Compute-bound sharding scales: 4 leaves beat 1 clearly.
+        let one = measure("1", 128);
+        assert!(
+            one.compute_bound_ns / row.compute_bound_ns > 2.5,
+            "compute-bound 4-leaf speedup {:.2}",
+            one.compute_bound_ns / row.compute_bound_ns
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_worker_counts() {
+        let a = run_jobs(Scale::Quick, Jobs::serial());
+        let b = run_jobs(Scale::Quick, Jobs::new(4));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.shape, y.shape);
+            assert_eq!(x.compute_bound_ns.to_bits(), y.compute_bound_ns.to_bits());
+            assert_eq!(x.transfer_bound_ns.to_bits(), y.transfer_bound_ns.to_bits());
+        }
+    }
+}

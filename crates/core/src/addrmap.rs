@@ -58,6 +58,26 @@ pub fn doorbell(i: usize) -> u64 {
     device_bar(i).base
 }
 
+/// Check an accelerator/endpoint count against the BAR window carving.
+///
+/// The single source of the `1..=`[`MAX_ACCELS`] bound and its error
+/// text: [`crate::SystemConfig::validate`] and the topology lowering
+/// both call this, so a flat cluster and a deep switch tree with too
+/// many endpoints fail with the same message.
+///
+/// # Errors
+///
+/// Returns [`crate::BuildError::InvalidConfig`] when `count` is zero or
+/// exceeds [`MAX_ACCELS`].
+pub fn check_accel_count(count: usize) -> Result<(), crate::BuildError> {
+    if count == 0 || count > MAX_ACCELS {
+        return Err(crate::BuildError::InvalidConfig(format!(
+            "accel_count must be in 1..={MAX_ACCELS} (BAR window carving), got {count}"
+        )));
+    }
+    Ok(())
+}
+
 /// Device-side memory window (4 GiB), reachable from the host over PCIe
 /// (the NUMA path) and from the accelerator directly.
 pub const DEVMEM: AddrRange = AddrRange {
@@ -67,6 +87,25 @@ pub const DEVMEM: AddrRange = AddrRange {
 
 /// Activation window inside device memory for DevMem configurations.
 pub const DEVMEM_ACT_BASE: u64 = DEVMEM.base + 0xA000_0000;
+
+/// Per-device slice of [`DEVMEM`] used by heterogeneous topologies where
+/// several endpoints carry their own local memory (256 MiB each).
+pub const DEVMEM_STRIDE: u64 = DEVMEM.size / MAX_ACCELS as u64;
+
+/// The device-memory slice of accelerator `i` (heterogeneous-endpoint
+/// topologies give each local-memory endpoint its own slice so switch
+/// ports can claim disjoint ranges).
+///
+/// # Panics
+///
+/// Panics if `i >= MAX_ACCELS`.
+pub fn devmem_slice(i: usize) -> AddrRange {
+    assert!(i < MAX_ACCELS, "accelerator index {i} out of range");
+    AddrRange {
+        base: DEVMEM.base + i as u64 * DEVMEM_STRIDE,
+        size: DEVMEM_STRIDE,
+    }
+}
 
 /// Base of the accelerator's virtual address space (SMMU-translated).
 pub const ACCEL_VA_BASE: u64 = 0x40_0000_0000;

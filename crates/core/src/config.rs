@@ -267,9 +267,7 @@ impl SystemConfig {
         if self.mem_location == MemoryLocation::Device && self.dev_mem.is_none() {
             return err("mem_location is Device but dev_mem is None");
         }
-        if self.accel_count == 0 || self.accel_count as usize > crate::addrmap::MAX_ACCELS {
-            return err("accel_count must be in 1..=16 (BAR window carving)");
-        }
+        crate::addrmap::check_accel_count(self.accel_count as usize)?;
         if self.interconnect == InterconnectKind::Cxl && self.accel_count != 1 {
             return err("the CXL topology is point-to-point: accel_count must be 1");
         }

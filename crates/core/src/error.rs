@@ -7,12 +7,26 @@ use accesys_sim::SimError;
 pub enum BuildError {
     /// The configuration is inconsistent; the message names the field.
     InvalidConfig(String),
+    /// The topology's longest request path would push more hops than the
+    /// packet route stack can hold — caught by the topology validator at
+    /// build time instead of a `route stack overflow` panic mid-run.
+    RouteDepthExceeded {
+        /// Route-stack depth the deepest request path would reach.
+        depth: usize,
+        /// The bound ([`accesys_sim::MAX_ROUTE_DEPTH`]).
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            BuildError::RouteDepthExceeded { depth, max } => write!(
+                f,
+                "topology route depth {depth} exceeds the route-stack bound {max}; \
+                 flatten the switch tree or shorten the host-side path"
+            ),
         }
     }
 }

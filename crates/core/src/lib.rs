@@ -33,9 +33,13 @@
 //! # }
 //! ```
 //!
-//! The [`analytic`] module implements the paper's Section V-D
-//! workload-composition model (Fig. 9 thresholds), and [`addrmap`]
-//! documents the simulated physical address map.
+//! The [`topology`] module is the declarative layer underneath all of
+//! this: a graph IR plus a generic wiring engine, of which the Fig. 1
+//! shape is one preset ([`SystemConfig::topology`]) and multi-level
+//! switch trees another ([`topology::switch_tree`]). The [`analytic`]
+//! module implements the paper's Section V-D workload-composition model
+//! (Fig. 9 thresholds), and [`addrmap`] documents the simulated
+//! physical address map.
 
 pub mod addrmap;
 pub mod analytic;
@@ -43,6 +47,7 @@ mod config;
 mod error;
 mod report;
 mod system;
+pub mod topology;
 
 pub use config::{
     AccessMode, InterconnectKind, MemBackendConfig, MemoryLocation, PcieConfig, SystemConfig,
@@ -50,6 +55,7 @@ pub use config::{
 pub use error::{BuildError, Error, RunError};
 pub use report::{RunReport, VitReport};
 pub use system::Simulation;
+pub use topology::TopologySpec;
 
 // Re-export the subsystem crates so downstream users need one dependency.
 pub use accesys_accel as accel;

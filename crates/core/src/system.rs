@@ -1,50 +1,26 @@
-//! System builder and simulation driver.
+//! Simulation driver: workload launching and report assembly.
+//!
+//! System *construction* lives in [`crate::topology`]: [`Simulation::new`]
+//! lowers the [`SystemConfig`] to a [`TopologySpec`] and lets the generic
+//! wiring engine instantiate it, so this module only drives workloads
+//! (doorbells, programs, sharding) and assembles reports.
 
 use crate::addrmap;
-use crate::{
-    AccessMode, BuildError, InterconnectKind, MemBackendConfig, MemoryLocation, RunError,
-    RunReport, SystemConfig, VitReport,
-};
+use crate::topology::{DeviceHandles, TopologyHandles, TopologySpec};
+use crate::{BuildError, MemoryLocation, RunError, RunReport, SystemConfig, VitReport};
 use accesys_accel::{AccelController, AccelJob, GemmOperands};
-use accesys_cache::{Cache, CoherentConfig};
 use accesys_cpu::{CpuComplex, CpuOp};
-use accesys_dma::DmaEngine;
-use accesys_interconnect::{
-    FlitLink, PcieEndpoint, PcieEndpointConfig, PcieLink, PcieSwitch, RootComplex,
-    RootComplexConfig, SwitchPort, Xbar, XbarConfig,
-};
-use accesys_mem::{Dram, SimpleMemory};
-use accesys_sim::{streams, units, Kernel, Module, ModuleId, Msg, RunLimit, Stats, Tick};
+use accesys_sim::{units, Kernel, ModuleId, Msg, RunLimit, Stats, Tick};
 use accesys_smmu::{Smmu, SmmuStats};
 use accesys_workload::{vit_ops, GemmSpec, VitModel};
 use std::sync::Arc;
 
-/// Module ids of the built system.
-#[derive(Clone, Debug)]
-#[allow(dead_code)] // some handles exist purely for instrumentation
-struct Handles {
-    host_mem: ModuleId,
-    membus: ModuleId,
-    llc: ModuleId,
-    l1d: ModuleId,
-    iocache: Option<ModuleId>,
-    cpu: ModuleId,
-    smmu: Option<ModuleId>,
-    rc: ModuleId,
-    switch: Option<ModuleId>,
-    eps: Vec<ModuleId>,
-    ctrls: Vec<ModuleId>,
-    dmas: Vec<ModuleId>,
-    devmem_xbar: Option<ModuleId>,
-}
-
 /// A built system ready to run workloads.
 ///
-/// One `Simulation` owns one [`Kernel`] with the full Fig. 1 topology:
-/// CPU cluster + caches, MemBus, SMMU, the configured interconnect
-/// (PCIe RC / switch / links / endpoints, or a CXL flit link), one DMA
-/// engine + accelerator wrapper per cluster member, and the configured
-/// memory backends.
+/// One `Simulation` owns one [`Kernel`] holding an instantiated
+/// [`TopologySpec`] — the paper's Fig. 1 shape when built with
+/// [`Simulation::new`], or any validated custom shape (switch trees,
+/// heterogeneous endpoints) via [`Simulation::from_topology`].
 ///
 /// ```
 /// use accesys::{Simulation, SystemConfig};
@@ -60,263 +36,39 @@ struct Handles {
 pub struct Simulation {
     cfg: SystemConfig,
     kernel: Kernel,
-    h: Handles,
+    topo: TopologyHandles,
     next_cookie: u64,
 }
 
-fn make_mem(name: &str, cfg: &MemBackendConfig) -> Box<dyn Module> {
-    match cfg {
-        MemBackendConfig::Simple(c) => Box::new(SimpleMemory::new(name, *c)),
-        MemBackendConfig::Dram(t) => Box::new(Dram::new(name, t.dram_config())),
-    }
-}
-
 impl Simulation {
-    /// Build a system from `cfg`.
+    /// Build the classic Fig. 1 system from `cfg` by lowering it through
+    /// the topology engine ([`SystemConfig::topology`]).
     ///
     /// # Errors
     ///
     /// Returns [`BuildError::InvalidConfig`] when [`SystemConfig::validate`]
     /// rejects the configuration.
     pub fn new(cfg: SystemConfig) -> Result<Self, BuildError> {
-        cfg.validate()?;
+        let spec = cfg.topology()?;
+        Self::from_topology(cfg, &spec)
+    }
+
+    /// Build a system from an explicit topology spec — switch trees
+    /// ([`crate::topology::switch_tree`]), heterogeneous endpoints, or a
+    /// hand-assembled graph. `cfg` still supplies workload-facing knobs
+    /// (functional mode, activation placement); the wiring comes
+    /// entirely from `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`TopologySpec::validate`] error.
+    pub fn from_topology(cfg: SystemConfig, spec: &TopologySpec) -> Result<Self, BuildError> {
         let mut kernel = Kernel::new();
-        let dc = cfg.access_mode == AccessMode::DirectCache;
-        let has_dev = cfg.dev_mem.is_some();
-        let n = cfg.accel_count as usize;
-        let cxl = cfg.interconnect == InterconnectKind::Cxl;
-
-        // Reserve every slot first: the topology is cyclic.
-        let host_mem = kernel.add_placeholder();
-        let membus = kernel.add_placeholder();
-        let llc = kernel.add_placeholder();
-        let l1d = kernel.add_placeholder();
-        let iocache = dc.then(|| kernel.add_placeholder());
-        let cpu = kernel.add_placeholder();
-        let smmu = cfg.smmu.is_some().then(|| kernel.add_placeholder());
-        let rc = kernel.add_placeholder();
-        let switch = (!cxl).then(|| kernel.add_placeholder());
-        // Downstream of the RC: one link to the switch (PCIe) or straight
-        // to the single endpoint (CXL).
-        let link_rc_down = kernel.add_placeholder();
-        let link_sw_up = (!cxl).then(|| kernel.add_placeholder());
-        let link_sw_down: Vec<ModuleId> = if cxl {
-            Vec::new()
-        } else {
-            (0..n).map(|_| kernel.add_placeholder()).collect()
-        };
-        let link_ep_up: Vec<ModuleId> = (0..n).map(|_| kernel.add_placeholder()).collect();
-        let eps: Vec<ModuleId> = (0..n).map(|_| kernel.add_placeholder()).collect();
-        let dmas: Vec<ModuleId> = (0..n).map(|_| kernel.add_placeholder()).collect();
-        let ctrls: Vec<ModuleId> = (0..n).map(|_| kernel.add_placeholder()).collect();
-        let devmem_xbar = has_dev.then(|| kernel.add_placeholder());
-        let dev_mem = has_dev.then(|| kernel.add_placeholder());
-
-        // Memory backends.
-        kernel.set_module(host_mem, make_mem("host_mem", &cfg.host_mem));
-        if let (Some(id), Some(mem_cfg)) = (dev_mem, cfg.dev_mem.as_ref()) {
-            kernel.set_module(id, make_mem("dev_mem", mem_cfg));
-        }
-
-        // MemBus: MSI → CPU, device windows → RC, rest → memory ctrl.
-        let mut bus = Xbar::new("membus", cfg.membus, host_mem);
-        bus.add_route(addrmap::MSI, cpu);
-        bus.add_route(addrmap::DEVICE_BAR, rc);
-        if has_dev {
-            bus.add_route(addrmap::DEVMEM, rc);
-        }
-        kernel.set_module(membus, Box::new(bus));
-
-        // Cache hierarchy.
-        let mut llc_cache = Cache::new("llc", cfg.llc, membus);
-        if cfg.coherent && dc {
-            llc_cache = llc_cache.with_coherence(CoherentConfig {
-                cpu_cache: l1d,
-                io_stream_base: streams::IO_BASE,
-            });
-        }
-        kernel.set_module(llc, Box::new(llc_cache));
-        kernel.set_module(l1d, Box::new(Cache::new("l1d", cfg.l1d, llc)));
-        if let Some(id) = iocache {
-            kernel.set_module(id, Box::new(Cache::new("iocache", cfg.iocache, llc)));
-        }
-
-        // The host target for accelerator traffic entering from PCIe/CXL.
-        let io_entry = if dc {
-            iocache.expect("DC mode allocates an IOCache")
-        } else {
-            membus
-        };
-
-        // SMMU (bump-in-the-wire in front of the IO entry point).
-        if let (Some(id), Some(smmu_cfg)) = (smmu, cfg.smmu.as_ref()) {
-            kernel.set_module(id, Box::new(Smmu::new("smmu", *smmu_cfg, io_entry)));
-        }
-        let rc_host_target = smmu.unwrap_or(io_entry);
-
-        // Links.
-        if cxl {
-            let ep0 = eps[0];
-            kernel.set_module(
-                link_rc_down,
-                Box::new(FlitLink::new("cxl.down", cfg.cxl_link, ep0)),
-            );
-            kernel.set_module(
-                link_ep_up[0],
-                Box::new(FlitLink::new("cxl.up", cfg.cxl_link, rc)),
-            );
-        } else {
-            let sw = switch.expect("PCIe topology has a switch");
-            kernel.set_module(
-                link_rc_down,
-                Box::new(PcieLink::new("link.rc_down", cfg.pcie.link, sw)),
-            );
-            kernel.set_module(
-                link_sw_up.expect("PCIe topology"),
-                Box::new(PcieLink::new("link.sw_up", cfg.pcie.link, rc)),
-            );
-            for i in 0..n {
-                kernel.set_module(
-                    link_sw_down[i],
-                    Box::new(PcieLink::new(
-                        &format!("link.sw_down{i}"),
-                        cfg.pcie.link,
-                        eps[i],
-                    )),
-                );
-                kernel.set_module(
-                    link_ep_up[i],
-                    Box::new(PcieLink::new(&format!("link.ep_up{i}"), cfg.pcie.link, sw)),
-                );
-            }
-        }
-
-        // Root complex (PCIe) / host bridge (CXL).
-        let rc_cfg = if cxl {
-            RootComplexConfig {
-                max_payload_bytes: cfg.pcie.rc.max_payload_bytes,
-                ..RootComplexConfig::cxl_host_bridge()
-            }
-        } else {
-            cfg.pcie.rc
-        };
-        let rc_name = if cxl { "cxl.bridge" } else { "pcie.rc" };
-        let mut rc_mod = RootComplex::new(rc_name, rc_cfg, rc_host_target, link_rc_down)
-            .with_device_range(addrmap::DEVICE_BAR)
-            .with_sideband(addrmap::MSI, membus);
-        if let Some(sw) = switch {
-            rc_mod.add_pcie_module(sw);
-        }
-        for &ep in &eps {
-            rc_mod.add_pcie_module(ep);
-        }
-        if has_dev {
-            rc_mod.add_device_range(addrmap::DEVMEM);
-        }
-        kernel.set_module(rc, Box::new(rc_mod));
-
-        // Switch with one port per cluster member (PCIe only).
-        if let Some(sw) = switch {
-            let mut sw_mod =
-                PcieSwitch::new("pcie.switch", cfg.pcie.switch, link_sw_up.expect("PCIe"));
-            for i in 0..n {
-                let mut ranges = vec![addrmap::device_bar(i)];
-                if has_dev && i == 0 {
-                    ranges.push(addrmap::DEVMEM);
-                }
-                sw_mod.add_port(SwitchPort {
-                    egress_link: link_sw_down[i],
-                    endpoint: eps[i],
-                    ranges,
-                });
-            }
-            kernel.set_module(sw, Box::new(sw_mod));
-        }
-
-        // Endpoints: MMIO to the controller, NUMA window to DevMem.
-        for i in 0..n {
-            let ep_cfg = if cxl {
-                PcieEndpointConfig {
-                    tags: cfg.pcie.ep.tags,
-                    proc_ns: cfg.pcie.ep.proc_ns,
-                    ..PcieEndpointConfig::cxl()
-                }
-            } else {
-                cfg.pcie.ep
-            };
-            let ep_name = if cxl {
-                "cxl.ep".to_string()
-            } else {
-                format!("pcie.ep{i}")
-            };
-            let mut ep_mod = PcieEndpoint::new(
-                &ep_name,
-                ep_cfg,
-                link_ep_up[i],
-                ctrls[i],
-                addrmap::device_bar(i),
-            );
-            if i == 0 {
-                if let Some(xbar) = devmem_xbar {
-                    ep_mod.add_inward_route(addrmap::DEVMEM, xbar);
-                }
-            }
-            kernel.set_module(eps[i], Box::new(ep_mod));
-        }
-
-        // DevMem controller frontend.
-        if let (Some(xbar), Some(mem)) = (devmem_xbar, dev_mem) {
-            let cfg_x = XbarConfig {
-                width_bytes: 64,
-                freq_ghz: 2.0,
-                latency_ns: 15.0,
-            };
-            kernel.set_module(xbar, Box::new(Xbar::new("devmem_ctrl", cfg_x, mem)));
-        }
-
-        // DMA engines + accelerator controllers.
-        for i in 0..n {
-            kernel.set_module(
-                dmas[i],
-                Box::new(DmaEngine::new(&format!("dma{i}"), cfg.dma)),
-            );
-            kernel.set_module(
-                ctrls[i],
-                Box::new(AccelController::new(
-                    &format!("accel{i}"),
-                    cfg.accel,
-                    dmas[i],
-                    eps[i],
-                )),
-            );
-        }
-
-        // CPU cluster.
-        let mut cpu_mod = CpuComplex::new("cpu", cfg.cpu, l1d, membus);
-        cpu_mod.add_uncached_range(addrmap::DEVICE_BAR.base, addrmap::DEVICE_BAR.size);
-        if has_dev {
-            cpu_mod.add_uncached_range(addrmap::DEVMEM.base, addrmap::DEVMEM.size);
-        }
-        kernel.set_module(cpu, Box::new(cpu_mod));
-
+        let topo = spec.instantiate(&mut kernel)?;
         Ok(Simulation {
             cfg,
             kernel,
-            h: Handles {
-                host_mem,
-                membus,
-                llc,
-                l1d,
-                iocache,
-                cpu,
-                smmu,
-                rc,
-                switch,
-                eps,
-                ctrls,
-                dmas,
-                devmem_xbar,
-            },
+            topo,
             next_cookie: 0,
         })
     }
@@ -337,14 +89,19 @@ impl Simulation {
         &mut self.kernel
     }
 
-    /// Number of accelerators in the cluster.
+    /// Kernel-side handles of the instantiated topology.
+    pub fn handles(&self) -> &TopologyHandles {
+        &self.topo
+    }
+
+    /// Number of accelerators in the system.
     pub fn accel_count(&self) -> usize {
-        self.h.ctrls.len()
+        self.topo.devices.len()
     }
 
     /// Current SMMU statistics (zeroes when translation is disabled).
     pub fn smmu_stats(&self) -> SmmuStats {
-        self.h
+        self.topo
             .smmu
             .and_then(|id| self.kernel.module::<Smmu>(id))
             .map(|s| s.smmu_stats())
@@ -362,8 +119,26 @@ impl Simulation {
         c
     }
 
-    /// Lay out one GEMM job in the configured memory location, in the
-    /// data window of cluster member `device`.
+    fn device(&self, i: usize) -> &DeviceHandles {
+        &self.topo.devices[i]
+    }
+
+    /// Where CPU-side Non-GEMM activations live: the host window, or the
+    /// topology's claimed device-memory activation window (the classic
+    /// monolithic base when the spec predates per-slice carving).
+    fn act_base(&self) -> u64 {
+        match self.cfg.mem_location {
+            MemoryLocation::Host => addrmap::HOST_ACT_BASE,
+            MemoryLocation::Device => self
+                .topo
+                .devmem_act_base
+                .unwrap_or(addrmap::DEVMEM_ACT_BASE),
+        }
+    }
+
+    /// Lay out one GEMM job in device `device`'s configured data window
+    /// (each device works in its own slice so concurrent shards never
+    /// alias rows).
     fn layout_job(
         &self,
         spec: &GemmSpec,
@@ -371,29 +146,12 @@ impl Simulation {
         functional: Option<Arc<GemmOperands>>,
         device: usize,
     ) -> AccelJob {
+        let d = self.device(device);
         let (a_sz, b_sz, _c_sz) =
-            self.cfg
-                .accel
+            d.accel_cfg
                 .region_bytes(spec.m, spec.n, spec.k, spec.dtype_bytes);
         let page_align = |x: u64| (x + 0xFFF) & !0xFFF;
-        // Each cluster member works in its own 64 MiB slice of the data
-        // window so concurrent shards do not alias rows.
-        let dev_off = device as u64 * 0x0400_0000;
-        let (base, virt, target) = match self.cfg.mem_location {
-            MemoryLocation::Host => {
-                if self.cfg.smmu.is_some() {
-                    (addrmap::ACCEL_VA_BASE + dev_off, true, self.h.eps[device])
-                } else {
-                    (addrmap::DATA_PA_BASE + dev_off, false, self.h.eps[device])
-                }
-            }
-            MemoryLocation::Device => (
-                addrmap::DEVMEM.base + dev_off,
-                false,
-                self.h.devmem_xbar.expect("validated: devmem present"),
-            ),
-        };
-        let a_addr = base;
+        let a_addr = d.data_base;
         let b_addr = a_addr + page_align(a_sz);
         let c_addr = b_addr + page_align(b_sz);
         AccelJob {
@@ -404,8 +162,8 @@ impl Simulation {
             a_addr,
             b_addr,
             c_addr,
-            virt,
-            data_target: target,
+            virt: d.virt,
+            data_target: d.data_target,
             msi_addr: addrmap::MSI.base,
             cookie,
             functional,
@@ -413,8 +171,9 @@ impl Simulation {
     }
 
     fn enqueue(&mut self, job: AccelJob, device: usize) {
+        let ctrl = self.device(device).ctrl;
         self.kernel
-            .module_mut::<AccelController>(self.h.ctrls[device])
+            .module_mut::<AccelController>(ctrl)
             .expect("controller present")
             .enqueue_job(job);
     }
@@ -427,15 +186,15 @@ impl Simulation {
         {
             let cpu = self
                 .kernel
-                .module_mut::<CpuComplex>(self.h.cpu)
+                .module_mut::<CpuComplex>(self.topo.cpu)
                 .expect("cpu present");
             cpu.load_program(program);
         }
-        self.kernel.schedule(start, self.h.cpu, Msg::Timer(0));
+        self.kernel.schedule(start, self.topo.cpu, Msg::Timer(0));
         self.kernel.run(RunLimit::default())?;
         let cpu = self
             .kernel
-            .module::<CpuComplex>(self.h.cpu)
+            .module::<CpuComplex>(self.topo.cpu)
             .expect("cpu present");
         let end = cpu
             .finished_at()
@@ -445,12 +204,12 @@ impl Simulation {
     }
 
     fn record_marks(&self) -> Vec<usize> {
-        self.h
-            .ctrls
+        self.topo
+            .devices
             .iter()
-            .map(|&c| {
+            .map(|d| {
                 self.kernel
-                    .module::<AccelController>(c)
+                    .module::<AccelController>(d.ctrl)
                     .expect("controller present")
                     .records()
                     .len()
@@ -460,10 +219,10 @@ impl Simulation {
 
     fn records_since(&self, before: &[usize]) -> Vec<accesys_accel::JobRecord> {
         let mut out = Vec::new();
-        for (i, &c) in self.h.ctrls.iter().enumerate() {
+        for (i, d) in self.topo.devices.iter().enumerate() {
             let recs = self
                 .kernel
-                .module::<AccelController>(c)
+                .module::<AccelController>(d.ctrl)
                 .expect("controller present")
                 .records();
             out.extend_from_slice(&recs[before[i]..]);
@@ -578,7 +337,7 @@ impl Simulation {
                 label: "gemm:job".into(),
             },
             CpuOp::LaunchJob {
-                doorbell_addr: addrmap::DOORBELL,
+                doorbell_addr: self.device(0).doorbell,
                 job_cookie: cookie,
             },
         ];
@@ -594,12 +353,13 @@ impl Simulation {
         ))
     }
 
-    /// Run one GEMM split row-wise across **all** cluster members: shard
-    /// `i` computes rows `[i*m/N, (i+1)*m/N)` on accelerator `i`, all
+    /// Run one GEMM split row-wise across **all** devices: shard `i`
+    /// computes rows `[i*m/N, (i+1)*m/N)` on accelerator `i`, all
     /// launched asynchronously and joined on their MSIs.
     ///
-    /// With `accel_count == 1` this degenerates to [`Simulation::run_gemm`]
-    /// (modulo the async driver path).
+    /// With one device this degenerates to [`Simulation::run_gemm`]
+    /// (modulo the async driver path). Works on any topology — the
+    /// shards land wherever each device's data placement says.
     ///
     /// # Errors
     ///
@@ -624,7 +384,7 @@ impl Simulation {
             let job = self.layout_job(&shard, cookie, None, dev as usize);
             self.enqueue(job, dev as usize);
             program.push(CpuOp::LaunchAsync {
-                doorbell_addr: addrmap::doorbell(dev as usize),
+                doorbell_addr: self.device(dev as usize).doorbell,
             });
             cookies.push(cookie);
         }
@@ -681,10 +441,7 @@ impl Simulation {
 
     fn run_ops(&mut self, ops: &[accesys_workload::Op]) -> Result<VitReport, RunError> {
         let mut program = Vec::new();
-        let act_base = match self.cfg.mem_location {
-            MemoryLocation::Host => addrmap::HOST_ACT_BASE,
-            MemoryLocation::Device => addrmap::DEVMEM_ACT_BASE,
-        };
+        let act_base = self.act_base();
         let mut read_cursor = act_base;
         let mut write_cursor = act_base + 0x0800_0000;
         let before = self.record_marks();
@@ -698,7 +455,7 @@ impl Simulation {
                         label: format!("gemm:{}", op.name),
                     });
                     program.push(CpuOp::LaunchJob {
-                        doorbell_addr: addrmap::DOORBELL,
+                        doorbell_addr: self.device(0).doorbell,
                         job_cookie: cookie,
                     });
                 }
@@ -744,10 +501,7 @@ impl Simulation {
         write_bytes: u64,
         flops: u64,
     ) -> Result<f64, RunError> {
-        let act_base = match self.cfg.mem_location {
-            MemoryLocation::Host => addrmap::HOST_ACT_BASE,
-            MemoryLocation::Device => addrmap::DEVMEM_ACT_BASE,
-        };
+        let act_base = self.act_base();
         let program = vec![
             CpuOp::Mark {
                 label: "nongemm:stream".into(),
@@ -765,7 +519,9 @@ impl Simulation {
     }
 
     /// Ids useful for tests and instrumentation: `(cpu, llc, host_mem,
-    /// rc, ep0, ctrl0, dma0, membus)`.
+    /// rc, ep0, ctrl0, dma0, membus)`. Non-device entries are looked up
+    /// by their canonical preset names and come back as
+    /// [`ModuleId::INVALID`] on custom topologies that renamed them.
     #[doc(hidden)]
     pub fn debug_handles(
         &self,
@@ -779,15 +535,21 @@ impl Simulation {
         ModuleId,
         ModuleId,
     ) {
+        let by_name = |name: &str| self.topo.lookup(name).unwrap_or(ModuleId::INVALID);
+        let rc = self
+            .topo
+            .lookup("pcie.rc")
+            .or_else(|| self.topo.lookup("cxl.bridge"))
+            .unwrap_or(ModuleId::INVALID);
         (
-            self.h.cpu,
-            self.h.llc,
-            self.h.host_mem,
-            self.h.rc,
-            self.h.eps[0],
-            self.h.ctrls[0],
-            self.h.dmas[0],
-            self.h.membus,
+            self.topo.cpu,
+            by_name("llc"),
+            by_name("host_mem"),
+            rc,
+            self.topo.devices[0].ep,
+            self.topo.devices[0].ctrl,
+            self.topo.devices[0].dma,
+            by_name("membus"),
         )
     }
 }
@@ -795,6 +557,8 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::{switch_tree, switch_tree_with, DataPlacement, EndpointOptions};
+    use crate::{AccessMode, MemBackendConfig, SystemConfig};
     use accesys_mem::MemTech;
 
     #[test]
@@ -941,5 +705,89 @@ mod tests {
         let report = sim.run_gemm_sharded(GemmSpec::square(128)).unwrap();
         assert_eq!(report.jobs.len(), 1);
         assert!(report.total_time_ns() > 0.0);
+    }
+
+    // ---- explicit topologies ----
+
+    #[test]
+    fn depth_two_tree_runs_a_sharded_gemm_on_every_leaf() {
+        let cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
+        let spec = switch_tree(&cfg, &[2, 4]).unwrap();
+        let mut sim = Simulation::from_topology(cfg, &spec).unwrap();
+        assert_eq!(sim.accel_count(), 8);
+        let report = sim.run_gemm_sharded(GemmSpec::square(256)).unwrap();
+        assert_eq!(report.jobs.len(), 8);
+        for i in 0..8 {
+            assert!(
+                report.stats.get_or_zero(&format!("accel{i}.jobs_done")) >= 1.0,
+                "leaf {i} idle"
+            );
+        }
+        // Leaf traffic funnels through both switch levels.
+        assert!(report.stats.get_or_zero("pcie.sw0.up_tlps") > 0.0);
+        assert!(report.stats.get_or_zero("pcie.sw0.0.up_tlps") > 0.0);
+        let stored: u64 = report.jobs.iter().map(|j| j.bytes_stored).sum();
+        assert_eq!(stored, 256 * 256 * 4);
+    }
+
+    #[test]
+    fn deeper_trees_cost_switch_latency() {
+        let cfg = SystemConfig::pcie_host(8.0, MemTech::Ddr4);
+        let flat = switch_tree(&cfg, &[1]).unwrap();
+        let deep = switch_tree(&cfg, &[1, 1, 1]).unwrap();
+        let t_flat = Simulation::from_topology(cfg.clone(), &flat)
+            .unwrap()
+            .run_gemm(GemmSpec::square(64))
+            .unwrap()
+            .total_time_ns();
+        let t_deep = Simulation::from_topology(cfg, &deep)
+            .unwrap()
+            .run_gemm(GemmSpec::square(64))
+            .unwrap()
+            .total_time_ns();
+        assert!(
+            t_deep > t_flat,
+            "3-level tree ({t_deep} ns) should be slower than flat ({t_flat} ns)"
+        );
+    }
+
+    #[test]
+    fn devmem_tree_runs_cpu_streaming_workloads() {
+        // Regression: CPU-side Non-GEMM streams used to target the
+        // monolithic DEVMEM_ACT_BASE, which no switch port claims in a
+        // per-slice tree — the request bounced between RC and switch
+        // until the route stack overflowed. The tree lowering now pins
+        // the activation window inside a claimed slice.
+        let cfg = SystemConfig::devmem(MemTech::Hbm2);
+        let spec = switch_tree(&cfg, &[2]).unwrap();
+        let mut sim = Simulation::from_topology(cfg, &spec).unwrap();
+        let ns = sim.run_stream(1 << 20, 1 << 20, 0).unwrap();
+        assert!(ns > 0.0);
+        let report = sim.run_vit_layer(VitModel::Base).unwrap();
+        assert!(report.non_gemm_ns() > 0.0);
+        // The streams really hit device memory, not host DRAM.
+        assert!(report.stats.get_or_zero("dev_mem0.bytes") > 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_tree_splits_traffic_by_placement() {
+        let mut cfg = SystemConfig::pcie_host(8.0, MemTech::Ddr4);
+        cfg.smmu = None;
+        let spec = switch_tree_with(&cfg, &[2], |i| EndpointOptions {
+            accel: None,
+            dev_mem: (i == 1).then_some(MemBackendConfig::Dram(MemTech::Hbm2)),
+        })
+        .unwrap();
+        assert!(matches!(
+            spec.devices()[1].data,
+            DataPlacement::Device { .. }
+        ));
+        let mut sim = Simulation::from_topology(cfg, &spec).unwrap();
+        let report = sim.run_gemm_sharded(GemmSpec::square(128)).unwrap();
+        assert_eq!(report.jobs.len(), 2);
+        // Device 0 pulled its shard over PCIe; device 1 from local memory.
+        assert!(report.stats.get_or_zero("pcie.ep0.reads_sent") > 0.0);
+        assert!(report.stats.get_or_zero("dev_mem1.bytes") > 0.0);
+        assert_eq!(report.stats.get_or_zero("pcie.ep1.reads_sent"), 0.0);
     }
 }

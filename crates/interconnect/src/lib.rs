@@ -30,5 +30,5 @@ pub use flit::{CreditUnit, FlitLink, FlitLinkConfig};
 pub use link::{PcieLink, PcieLinkConfig};
 pub use pcie_gen::PcieGen;
 pub use rc::{RootComplex, RootComplexConfig};
-pub use switch::{PcieSwitch, PcieSwitchConfig, SwitchPort};
+pub use switch::{aggregate_ranges, PcieSwitch, PcieSwitchConfig, SwitchPort};
 pub use xbar::{Xbar, XbarConfig};

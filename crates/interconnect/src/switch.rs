@@ -8,11 +8,54 @@ use accesys_sim::{units, Ctx, Module, ModuleId, Msg, Stats, Tick};
 pub struct SwitchPort {
     /// Egress link toward the device.
     pub egress_link: ModuleId,
-    /// The endpoint module reachable through this port (for response
-    /// routing via the route stack).
+    /// The module directly below this port — a [`crate::PcieEndpoint`],
+    /// or another [`PcieSwitch`] in a cascaded tree. Responses whose
+    /// route-stack next hop is this module leave through `egress_link`.
     pub endpoint: ModuleId,
-    /// BAR ranges of the device behind this port.
+    /// Address ranges claimed by the whole subtree behind this port: a
+    /// single device BAR for a leaf, or the aggregated claims of every
+    /// device below a cascaded switch.
     pub ranges: Vec<AddrRange>,
+}
+
+impl SwitchPort {
+    /// A port claiming the aggregate of `ranges` (see
+    /// [`aggregate_ranges`]) — the general form used for cascaded
+    /// switch trees, where one port fronts many devices.
+    pub fn aggregated(
+        egress_link: ModuleId,
+        endpoint: ModuleId,
+        ranges: impl IntoIterator<Item = AddrRange>,
+    ) -> Self {
+        SwitchPort {
+            egress_link,
+            endpoint,
+            ranges: aggregate_ranges(ranges.into_iter().collect()),
+        }
+    }
+}
+
+/// Merge overlapping and exactly-adjacent address ranges into a minimal
+/// sorted set.
+///
+/// Switch port range computation generalized for trees: a port fronting
+/// a whole subtree claims the union of every BAR below it, and carved
+/// per-device BARs are contiguous, so the aggregate usually collapses to
+/// one range per port — keeping by-address request routing O(ports), not
+/// O(devices).
+pub fn aggregate_ranges(mut ranges: Vec<AddrRange>) -> Vec<AddrRange> {
+    ranges.sort_by_key(|r| (r.base, r.size));
+    let mut out: Vec<AddrRange> = Vec::new();
+    for r in ranges {
+        match out.last_mut() {
+            Some(last) if r.base <= last.end() => {
+                let end = last.end().max(r.end());
+                last.size = end - last.base;
+            }
+            _ => out.push(r),
+        }
+    }
+    out
 }
 
 /// Configuration of a [`PcieSwitch`].
@@ -237,6 +280,81 @@ mod tests {
         k.run_until_idle().unwrap();
         assert_eq!(k.module::<Term>(down).unwrap().got.len(), 1);
         assert_eq!(k.module::<Term>(up).unwrap().got.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_ranges_merges_adjacent_and_overlapping() {
+        let carved: Vec<AddrRange> = (0..4)
+            .map(|i| AddrRange::new(0x1000_0000 + i * 0x100_0000, 0x100_0000))
+            .collect();
+        // Contiguous carved BARs collapse to one claim.
+        assert_eq!(
+            aggregate_ranges(carved),
+            vec![AddrRange::new(0x1000_0000, 0x400_0000)]
+        );
+        // Disjoint claims stay separate and come out sorted.
+        let gappy = vec![
+            AddrRange::new(0x9000, 0x100),
+            AddrRange::new(0x1000, 0x100),
+            AddrRange::new(0x1080, 0x200), // overlaps the second
+        ];
+        assert_eq!(
+            aggregate_ranges(gappy),
+            vec![AddrRange::new(0x1000, 0x280), AddrRange::new(0x9000, 0x100)]
+        );
+    }
+
+    #[test]
+    fn cascaded_switches_route_requests_down_and_responses_up() {
+        // root switch → child switch → endpoint: requests descend by the
+        // aggregated subtree claim, responses retrace the route stack
+        // with the child switch as the root port's `endpoint`.
+        let mut k = Kernel::new();
+        let up = k.add_module(Box::new(Term {
+            name: "up",
+            got: vec![],
+        }));
+        let ep = k.add_module(Box::new(Term {
+            name: "ep",
+            got: vec![],
+        }));
+        let child_down = k.add_module(Box::new(Term {
+            name: "child_down",
+            got: vec![],
+        }));
+        let child_up = k.add_module(Box::new(Term {
+            name: "child_up",
+            got: vec![],
+        }));
+        let bar = AddrRange::new(0x1_0000_0000, 0x1000_0000);
+        let child = k.add_module(Box::new(
+            PcieSwitch::new("child", PcieSwitchConfig::default(), child_up)
+                .with_port(SwitchPort::aggregated(child_down, ep, [bar])),
+        ));
+        let root_down = k.add_module(Box::new(Term {
+            name: "root_down",
+            got: vec![],
+        }));
+        let root = k.add_module(Box::new(
+            PcieSwitch::new("root", PcieSwitchConfig::default(), up).with_port(
+                // The root port fronts the whole child subtree.
+                SwitchPort::aggregated(root_down, child, [bar]),
+            ),
+        ));
+        // A device-addressed request at the root leaves on the subtree port.
+        let req = Packet::request(0, MemCmd::WriteReq, bar.base + 0x40, 64, 0);
+        k.schedule(0, root, Msg::packet(req));
+        // A response whose next hop is the child switch also goes down...
+        let mut cpl = Packet::request(1, MemCmd::ReadReq, 0x4000, 64, 0).to_response();
+        cpl.route.push(child);
+        k.schedule(0, root, Msg::packet(cpl));
+        // ...while a device-originated request at the child heads upstream.
+        let host_req = Packet::request(2, MemCmd::ReadReq, 0x4000, 64, 0);
+        k.schedule(0, child, Msg::packet(host_req));
+        k.run_until_idle().unwrap();
+        assert_eq!(k.module::<Term>(root_down).unwrap().got.len(), 2);
+        assert_eq!(k.module::<Term>(child_up).unwrap().got.len(), 1);
+        assert!(k.module::<Term>(up).unwrap().got.is_empty());
     }
 
     #[test]

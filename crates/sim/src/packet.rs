@@ -4,9 +4,16 @@ use crate::{ModuleId, Tick};
 
 /// Maximum depth of a [`RouteStack`].
 ///
-/// The deepest request path in the framework is
+/// The deepest request path in the baseline framework is
 /// `CPU → L1 → LLC → MemBus → RC → Link → Switch → Link → EP → DevMem`,
-/// comfortably below this bound.
+/// comfortably below this bound. Topologies are checked against this
+/// constant *at build time*: the topology validator in the core crate
+/// (`accesys::topology`) computes the longest request path of a spec
+/// and rejects anything deeper with a typed error. The
+/// [`RouteStack::push`] overflow panic below still guards hand-wired
+/// kernels that bypassed validation — and misrouted traffic (e.g. a
+/// request to a device-window address no port claims, which bounces
+/// between hops instead of terminating).
 pub const MAX_ROUTE_DEPTH: usize = 12;
 
 /// Memory command carried by a [`Packet`].
