@@ -36,6 +36,7 @@ fn main() {
         ("cxl", accesys_bench::cxl::run_cli),
         ("cluster", accesys_bench::cluster::run_cli),
         ("topo", accesys_bench::topo::run_cli),
+        ("graph", accesys_bench::graph::run_cli),
         ("energy", accesys_bench::energy::run_cli),
     ];
     let start = Instant::now();

@@ -1,0 +1,126 @@
+//! Dispatcher performance harness: measures how fast the workload-graph
+//! dispatcher drives the simulation and records the bench trajectory
+//! (`BENCH_graph.json`, via `--json` + redirect in CI) — the graph-layer
+//! sibling of the kernel `perf` bin.
+//!
+//! Two measurements:
+//!
+//! * **dispatcher throughput** — a pipelined encoder graph (8 leaves of
+//!   a depth-2 switch tree, images in flight) executed end to end;
+//!   reported as graph tasks/sec and kernel events/sec.
+//! * **scheduling win** — the same workload as a sequential chain on the
+//!   same tree; `pipelined_speedup = sequential / pipelined` in
+//!   simulated time. The acceptance bar (> 1.0) makes a scheduling
+//!   regression a build failure, not an archived number.
+//!
+//! Flags: `--json` (machine-readable report on stdout), `--jobs`/`--full`
+//! accepted for CLI uniformity but ignored (single-kernel measurements).
+
+use accesys_bench::cli::Cli;
+use accesys_bench::{graph, Scale};
+use std::time::Instant;
+
+const REPS: usize = 3;
+
+/// The bench-trajectory record emitted as `BENCH_graph.json`.
+#[derive(Debug, serde::Serialize)]
+struct GraphPerfReport {
+    /// Tasks in the pipelined graph.
+    graph_tasks: usize,
+    /// Graph tasks dispatched per wall-clock second (best of reps).
+    dispatcher_tasks_per_sec: f64,
+    /// Kernel events per wall-clock second during the dispatched run.
+    dispatcher_events_per_sec: f64,
+    /// Kernel events of the dispatched run (a determinism canary: this
+    /// must never change across perf-only PRs).
+    dispatcher_events: f64,
+    /// Wall-clock of the best rep, in milliseconds.
+    wall_ms: f64,
+    /// Peak accelerator jobs in flight (scheduling shape canary).
+    max_in_flight: usize,
+    /// Simulated time of the pipelined schedule, ns.
+    pipelined_ns: f64,
+    /// Simulated time of the sequential chain, ns.
+    sequential_ns: f64,
+    /// `sequential_ns / pipelined_ns` — the acceptance bar is > 1.0.
+    pipelined_speedup: f64,
+}
+
+fn main() {
+    let cli = Cli::from_env("graph_perf");
+
+    eprintln!("# graph_perf: pipelined encoder on a 2x4 switch tree ({REPS} reps)...");
+    let mut best_tps = 0.0f64;
+    let mut wall_ms = 0.0;
+    let mut row = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let r = graph::measure("2x4", Scale::Quick);
+        let secs = start.elapsed().as_secs_f64();
+        let tps = r.tasks as f64 / secs;
+        if tps > best_tps {
+            best_tps = tps;
+            wall_ms = secs * 1e3;
+            row = Some(r);
+        }
+    }
+    let row = row.expect("at least one rep ran");
+    // One instrumented pipeline-only run for the events/sec figure.
+    let (events, best_eps) = {
+        let start = Instant::now();
+        let (report, _plan) = graph::instrumented_pipeline_run("2x4", Scale::Quick);
+        let secs = start.elapsed().as_secs_f64();
+        let events = report.stats.get_or_zero("kernel.events");
+        (events, events / secs)
+    };
+
+    let report = GraphPerfReport {
+        graph_tasks: row.tasks,
+        dispatcher_tasks_per_sec: best_tps,
+        dispatcher_events_per_sec: best_eps,
+        dispatcher_events: events,
+        wall_ms,
+        max_in_flight: row.max_in_flight,
+        pipelined_ns: row.pipelined_ns,
+        sequential_ns: row.sequential_ns,
+        pipelined_speedup: row.speedup,
+    };
+
+    if cli.json {
+        accesys_bench::cli::emit_json(&serde::Serialize::to_value(&report));
+    } else {
+        println!("# workload-graph dispatcher perf harness");
+        println!("{:<34} {:>14}", "graph tasks", report.graph_tasks);
+        println!(
+            "{:<34} {:>14.0}",
+            "dispatcher tasks/sec", report.dispatcher_tasks_per_sec
+        );
+        println!(
+            "{:<34} {:>14.0}",
+            "dispatcher events/sec", report.dispatcher_events_per_sec
+        );
+        println!(
+            "{:<34} {:>14.0}",
+            "dispatcher events", report.dispatcher_events
+        );
+        println!("{:<34} {:>14.1}", "wall ms", report.wall_ms);
+        println!("{:<34} {:>14}", "max in flight", report.max_in_flight);
+        println!("{:<34} {:>14.0}", "pipelined ns", report.pipelined_ns);
+        println!("{:<34} {:>14.0}", "sequential ns", report.sequential_ns);
+        println!(
+            "{:<34} {:>14.2}",
+            "pipelined speedup", report.pipelined_speedup
+        );
+    }
+
+    // A pipeline that stops beating the chain on an 8-leaf tree is a
+    // scheduling regression: fail the build, don't archive it.
+    const SPEEDUP_BAR: f64 = 1.0;
+    if report.pipelined_speedup <= SPEEDUP_BAR {
+        eprintln!(
+            "graph_perf: pipelined speedup {:.2}x fell to/below the {SPEEDUP_BAR}x bar",
+            report.pipelined_speedup
+        );
+        std::process::exit(1);
+    }
+}

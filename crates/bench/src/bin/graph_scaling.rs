@@ -1,0 +1,12 @@
+//! Workload-graph scaling sweep: sequential chain vs pipelined
+//! multi-device schedule across switch-tree shapes (extension).
+
+use accesys_bench::cli::{self, Cli};
+
+fn main() {
+    let cli = Cli::from_env("graph_scaling");
+    let value = accesys_bench::graph::run_cli(&cli);
+    if cli.json {
+        cli::emit_json(&value);
+    }
+}

@@ -1,0 +1,267 @@
+//! Extension experiment — workload-graph scaling: pipelined multi-device
+//! inference vs the sequential chain, across switch-tree shapes.
+//!
+//! The workload graph layer makes the *schedule* a swept parameter the
+//! same way the topology layer made the *system shape* one: the same
+//! encoder workload is lowered twice — as the sequential chain the
+//! paper's Section V-D composition implies (every GEMM through device
+//! 0, one at a time) and as a pipeline (encoder layers split into
+//! per-leaf stages, a batch of images in flight, activations handed
+//! hop to hop) — and both run on the same switch tree. The ratio is the
+//! scheduling win the dispatcher extracts from the hardware the
+//! topology already paid for.
+//!
+//! Each leaf carries local device memory for its working set, so job
+//! DMA does not serialize on the shared uplink and the pipeline's
+//! speedup reflects scheduling, not link contention.
+
+use crate::cli::Cli;
+use crate::topo::parse_shape;
+use crate::Scale;
+use accesys::topology::{switch_tree_with, EndpointOptions};
+use accesys::{MemBackendConfig, Simulation, SystemConfig};
+use accesys_exp::{Experiment, Grid, Jobs};
+use accesys_mem::MemTech;
+use accesys_workload::encoder_ops;
+use accesys_workload::graph::{op_chain, pipelined_encoder, PipelineSpec};
+
+/// Tree shapes swept (per-level fan-outs, `x`-separated, as in
+/// [`crate::topo::SHAPES`]): from the single-device Fig. 1 shape to a
+/// depth-2 eight-leaf tree.
+pub const SHAPES: [&str; 5] = ["1", "2", "4", "2x2", "2x4"];
+
+/// Encoder geometry at each scale: `(seq, hidden, heads, mlp)` —
+/// scaled-down synthetic dims for quick runs, ViT-Base for paper scale.
+pub fn encoder_dims(scale: Scale) -> (u32, u32, u32, u32) {
+    scale.pick((64, 128, 4, 512), (197, 768, 12, 3072))
+}
+
+/// Pipeline workload at each scale: `(layers, images)`.
+pub fn workload_size(scale: Scale) -> (u32, u32) {
+    scale.pick((8, 4), (12, 8))
+}
+
+/// One schedule-shape measurement on one tree shape.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct GraphRow {
+    /// Tree shape (per-level fan-outs, `x`-separated).
+    pub shape: String,
+    /// Switch levels between the root complex and the endpoints.
+    pub depth: u32,
+    /// Leaf endpoints (= pipeline stages available).
+    pub endpoints: u32,
+    /// Tasks in the pipelined graph.
+    pub tasks: usize,
+    /// Peak accelerator jobs simultaneously in flight (dispatcher
+    /// overlap actually achieved).
+    pub max_in_flight: usize,
+    /// Inter-stage activation handoffs executed.
+    pub transfers: u64,
+    /// Sequential chain (all GEMMs through device 0), ns.
+    pub sequential_ns: f64,
+    /// Pipelined schedule over every leaf, ns.
+    pub pipelined_ns: f64,
+    /// `sequential_ns / pipelined_ns` — the scheduling win.
+    pub speedup: f64,
+}
+
+/// The compute-dominated tree every point runs on: per-leaf local
+/// memory (job DMA stays off the shared uplink), fixed per-job compute.
+fn tree_sim(levels: &[u32]) -> Simulation {
+    let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4).with_compute_override_ns(50_000.0);
+    cfg.smmu = None;
+    let spec = switch_tree_with(&cfg, levels, |_| EndpointOptions {
+        accel: None,
+        dev_mem: Some(MemBackendConfig::Dram(MemTech::Hbm2)),
+    })
+    .expect("swept shapes are valid");
+    Simulation::from_topology(cfg, &spec).expect("valid topology")
+}
+
+/// Measure one tree shape under both schedules.
+pub fn measure(shape: &str, scale: Scale) -> GraphRow {
+    let levels = parse_shape(shape);
+    let endpoints: u32 = levels.iter().product();
+    let (seq, hidden, heads, mlp) = encoder_dims(scale);
+    let (layers, images) = workload_size(scale);
+
+    // Sequential chain: the same total work as one flat op list.
+    let chain_ops: Vec<_> = (0..images * layers)
+        .flat_map(|_| encoder_ops(seq, hidden, heads, mlp))
+        .collect();
+    let sequential = tree_sim(&levels)
+        .run_graph(&op_chain(&chain_ops))
+        .expect("chain completes");
+
+    // Pipelined: layers split into per-leaf stages, images in flight.
+    let pipeline = pipelined_encoder(
+        seq,
+        hidden,
+        heads,
+        mlp,
+        &PipelineSpec {
+            layers,
+            images,
+            devices: endpoints as usize,
+        },
+    );
+    let (pipelined, plan) = tree_sim(&levels)
+        .run_graph_planned(&pipeline)
+        .expect("pipeline completes");
+
+    GraphRow {
+        shape: shape.to_string(),
+        depth: levels.len() as u32,
+        endpoints,
+        tasks: pipeline.len(),
+        max_in_flight: plan.max_in_flight,
+        transfers: plan.transfers,
+        sequential_ns: sequential.total_time_ns(),
+        pipelined_ns: pipelined.total_time_ns(),
+        speedup: sequential.total_time_ns() / pipelined.total_time_ns(),
+    }
+}
+
+/// Run just the pipelined schedule on `shape` and hand back the full
+/// report + plan (the `graph_perf` bin reads kernel event counts off
+/// it).
+pub fn instrumented_pipeline_run(
+    shape: &str,
+    scale: Scale,
+) -> (accesys::VitReport, accesys::DispatchPlan) {
+    let levels = parse_shape(shape);
+    let endpoints: u32 = levels.iter().product();
+    let (seq, hidden, heads, mlp) = encoder_dims(scale);
+    let (layers, images) = workload_size(scale);
+    let pipeline = pipelined_encoder(
+        seq,
+        hidden,
+        heads,
+        mlp,
+        &PipelineSpec {
+            layers,
+            images,
+            devices: endpoints as usize,
+        },
+    );
+    tree_sim(&levels)
+        .run_graph_planned(&pipeline)
+        .expect("pipeline completes")
+}
+
+/// The sweep as a declarative experiment over [`SHAPES`].
+pub fn experiment(scale: Scale) -> impl Experiment<Point = String, Out = GraphRow> {
+    Grid::new("graph_scaling", SHAPES.map(String::from)).sweep(move |s| measure(s, scale))
+}
+
+/// Run the sweep on `jobs` workers.
+pub fn run_jobs(scale: Scale, jobs: Jobs) -> Vec<GraphRow> {
+    experiment(scale).run(jobs).into_outputs()
+}
+
+/// Run the sweep (worker count from the environment).
+pub fn run(scale: Scale) -> Vec<GraphRow> {
+    run_jobs(scale, Jobs::from_env())
+}
+
+/// Run at the CLI's settings; print the table unless `--json`; return
+/// the machine-readable sweep value.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment(cli.scale), |r| {
+        print(
+            &r.points.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
+            cli.scale,
+        )
+    })
+}
+
+/// Run and print the scaling table.
+pub fn run_and_print(scale: Scale) -> Vec<GraphRow> {
+    let rows = run(scale);
+    print(&rows, scale);
+    rows
+}
+
+/// Print the scaling table.
+pub fn print(rows: &[GraphRow], scale: Scale) {
+    let (layers, images) = workload_size(scale);
+    let (seq, hidden, heads, mlp) = encoder_dims(scale);
+    println!(
+        "# Workload-graph scaling (extension): {layers}-layer encoder \
+         ({seq}x{hidden}, {heads} heads, mlp {mlp}), {images} images"
+    );
+    println!(
+        "{:>8} {:>6} {:>10} {:>7} {:>10} {:>6} {:>16} {:>15} {:>9}",
+        "shape",
+        "depth",
+        "endpoints",
+        "tasks",
+        "in-flight",
+        "xfers",
+        "sequential (µs)",
+        "pipelined (µs)",
+        "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>6} {:>10} {:>7} {:>10} {:>6} {:>16.1} {:>15.1} {:>8.2}x",
+            r.shape,
+            r.depth,
+            r.endpoints,
+            r.tasks,
+            r.max_in_flight,
+            r.transfers,
+            r.sequential_ns / 1000.0,
+            r.pipelined_ns / 1000.0,
+            r.speedup
+        );
+    }
+    println!("# expected: one leaf pins speedup at ~1x (same schedule);");
+    println!("# more leaves buy pipeline stages until images-in-flight run out");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_two_tree_pipelines_beat_the_sequential_chain() {
+        // The acceptance shape: on a depth-2 switch tree the pipelined
+        // schedule must beat the sequential chain outright.
+        let row = measure("2x4", Scale::Quick);
+        assert_eq!(row.depth, 2);
+        assert_eq!(row.endpoints, 8);
+        assert!(row.max_in_flight >= 2, "no overlap: {row:?}");
+        assert!(row.transfers > 0);
+        assert!(
+            row.speedup > 1.2,
+            "pipelined ViT should beat the chain on a depth-2 tree, got {:.2}x",
+            row.speedup
+        );
+    }
+
+    #[test]
+    fn single_leaf_degenerates_to_the_chain() {
+        // One device = one stage: the pipeline cannot beat the chain by
+        // more than scheduling noise, and must not be slower than 0.9x.
+        let row = measure("1", Scale::Quick);
+        assert_eq!(row.endpoints, 1);
+        assert!(
+            (0.9..=1.1).contains(&row.speedup),
+            "one-leaf speedup should be ~1x, got {:.2}x",
+            row.speedup
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_worker_counts() {
+        let a = run_jobs(Scale::Quick, Jobs::serial());
+        let b = run_jobs(Scale::Quick, Jobs::new(4));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.shape, y.shape);
+            assert_eq!(x.sequential_ns.to_bits(), y.sequential_ns.to_bits());
+            assert_eq!(x.pipelined_ns.to_bits(), y.pipelined_ns.to_bits());
+        }
+    }
+}

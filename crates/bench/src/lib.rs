@@ -31,6 +31,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig9;
+pub mod graph;
 pub mod scale;
 pub mod table2;
 pub mod table3;

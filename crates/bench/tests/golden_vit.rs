@@ -1,0 +1,33 @@
+//! Workload-graph-refactor acceptance gate: the chain-graph lowering of
+//! the ViT encoder layer must reproduce the pre-refactor sequential
+//! driver **byte-for-byte** on `SystemConfig::paper_baseline()`.
+//!
+//! `golden/vit_layer_quick.json` was captured from the sequential
+//! `run_ops` driver (PR 4 HEAD) as the serialized `VitReport` of one
+//! ViT-Base encoder layer. Any timing, phase-label or serialization
+//! drift in the graph dispatcher's chain lowering shows up here as a
+//! byte diff. Regenerate only for *intentional* model changes:
+//! `ACCESYS_REGEN_GOLDEN=1 cargo test -p accesys-bench --test golden_vit`.
+
+use accesys::{Simulation, SystemConfig};
+use accesys_workload::VitModel;
+
+const GOLDEN: &str = include_str!("golden/vit_layer_quick.json");
+const GOLDEN_PATH: &str = "tests/golden/vit_layer_quick.json";
+
+#[test]
+fn chain_lowering_matches_pre_refactor_sequential_driver_byte_for_byte() {
+    let mut sim = Simulation::new(SystemConfig::paper_baseline()).expect("valid config");
+    let report = sim.run_vit_layer(VitModel::Base).expect("layer completes");
+    let json = serde_json::to_string_pretty(&serde::Serialize::to_value(&report))
+        .expect("reports serialize");
+    if std::env::var("ACCESYS_REGEN_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, format!("{json}\n")).expect("golden written");
+        return;
+    }
+    assert_eq!(
+        json.trim(),
+        GOLDEN.trim(),
+        "run_vit_layer output drifted from the pre-refactor sequential-driver snapshot"
+    );
+}

@@ -110,6 +110,42 @@ pub fn devmem_slice(i: usize) -> AddrRange {
 /// Base of the accelerator's virtual address space (SMMU-translated).
 pub const ACCEL_VA_BASE: u64 = 0x40_0000_0000;
 
+/// Size of each half (read / write) of the CPU activation window: the
+/// Non-GEMM streaming path reads from `[act_base, act_base + ACT_SPLIT)`
+/// and writes from `act_base + ACT_SPLIT` up — the single source of the
+/// split every stream-address producer uses (see [`act_windows`]).
+pub const ACT_SPLIT: u64 = 0x0800_0000;
+
+/// The `(read, write)` activation windows for CPU-side Non-GEMM
+/// streaming at `act_base`.
+///
+/// Both halves are [`ACT_SPLIT`] bytes, except when `act_base` sits
+/// inside a *per-device* [`DEVMEM`] slice (switch-tree topologies pin it
+/// at [`crate::topology`]'s slice offset): there the write window is
+/// clamped to the end of the claimed slice, because an address past the
+/// slice is claimed by no switch port and would bounce between the root
+/// complex and the switch until the route stack overflows. The classic
+/// monolithic [`DEVMEM_ACT_BASE`] keeps the full split (endpoint 0
+/// claims the whole window).
+pub fn act_windows(act_base: u64) -> (AddrRange, AddrRange) {
+    let limit = if DEVMEM.contains(act_base) && act_base != DEVMEM_ACT_BASE {
+        let slice = (act_base - DEVMEM.base) / DEVMEM_STRIDE;
+        DEVMEM.base + (slice + 1) * DEVMEM_STRIDE
+    } else {
+        act_base + 2 * ACT_SPLIT
+    };
+    let read = AddrRange {
+        base: act_base,
+        size: ACT_SPLIT.min(limit - act_base),
+    };
+    let write_base = act_base + ACT_SPLIT;
+    let write = AddrRange {
+        base: write_base,
+        size: limit.saturating_sub(write_base).min(ACT_SPLIT),
+    };
+    (read, write)
+}
+
 // Compile-time layout checks: the data window precedes the activation
 // window, which precedes the page tables and the MSI doorbell.
 const _: () = assert!(DATA_PA_BASE < HOST_ACT_BASE);
@@ -137,6 +173,32 @@ mod tests {
     #[test]
     fn devmem_activations_inside_devmem() {
         assert!(DEVMEM.contains(DEVMEM_ACT_BASE));
+    }
+
+    #[test]
+    fn act_windows_split_and_never_overlap() {
+        for base in [HOST_ACT_BASE, DEVMEM_ACT_BASE] {
+            let (r, w) = act_windows(base);
+            assert_eq!(r.base, base);
+            assert_eq!(r.size, ACT_SPLIT);
+            assert_eq!(w.base, base + ACT_SPLIT);
+            assert_eq!(w.size, ACT_SPLIT);
+            assert!(!r.overlaps(&w));
+        }
+    }
+
+    #[test]
+    fn act_windows_clamp_to_the_claimed_devmem_slice() {
+        // A tree-style activation base inside slice 3: the write window
+        // must end at the slice boundary, not walk into slice 4 (which
+        // no switch port claims).
+        let slice = devmem_slice(3);
+        let base = slice.base + 0x0400_0000;
+        let (r, w) = act_windows(base);
+        assert_eq!(r.size, ACT_SPLIT);
+        assert_eq!(w.base, base + ACT_SPLIT);
+        assert_eq!(w.base + w.size, slice.base + slice.size);
+        assert!(w.size < ACT_SPLIT);
     }
 
     #[test]

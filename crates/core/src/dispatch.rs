@@ -1,0 +1,782 @@
+//! The dependency-driven workload dispatcher: executes a
+//! [`TaskGraph`](accesys_workload::graph::TaskGraph) on a built
+//! [`Simulation`].
+//!
+//! The dispatcher is the workload-side mirror of the topology engine: it
+//! walks the typed task graph and *compiles* it into the driver
+//! machinery the CPU model already has — synchronous
+//! [`CpuOp::LaunchJob`] doorbells, asynchronous
+//! [`CpuOp::LaunchAsync`]/[`CpuOp::WaitAll`] cookie fan-out, and
+//! [`CpuOp::Stream`] kernels — so CPU streaming overlaps with in-flight
+//! accelerator jobs and independent GEMMs spread across idle devices.
+//!
+//! ## Readiness and issue rules (the determinism contract)
+//!
+//! Compilation is a fixed-point loop over the graph; every choice is a
+//! deterministic function of the graph and the device count, so the same
+//! graph on the same topology always produces the same program — and
+//! therefore the same simulation, bit for bit, regardless of sweep
+//! worker counts:
+//!
+//! 1. **Barriers** settle the moment their dependencies complete; they
+//!    cost nothing and emit nothing.
+//! 2. **Synchronous fast path**: when exactly one GEMM is ready, no CPU
+//!    task is ready and nothing is in flight, it is issued as a blocking
+//!    `LaunchJob` — exactly the program the pre-graph sequential drivers
+//!    emitted, which is what keeps chain lowerings byte-identical to
+//!    them.
+//! 3. **GEMM issue**: every ready GEMM is issued `LaunchAsync`, in task-id
+//!    order, to its pinned device if idle, or (for
+//!    [`Affinity::AnyAccel`]) to the lowest-index idle device. Ready
+//!    GEMMs that find no idle eligible device stay pending.
+//! 4. **CPU issue**: every ready `Stream`/`Transfer` task then runs
+//!    inline, in task-id order — the CPU streams while the launched jobs
+//!    are still in flight.
+//! 5. **Wait**: when nothing can issue, the dispatcher looks at the
+//!    smallest-id blocked task whose unmet dependencies are all in
+//!    flight. If that task joins *everything* in flight (a fork-join
+//!    barrier), it emits one `WaitAll` over all cookies — the old
+//!    sharded driver's program. Otherwise it waits on the
+//!    earliest-issued in-flight cookie only (FIFO): launch order
+//!    approximates completion order, so the CPU wakes as early as
+//!    possible and issues freshly ready work, keeping independent
+//!    pipeline chains advancing instead of letting one starve the
+//!    others. With no blocked-but-waitable task it drains every
+//!    in-flight cookie. Waited devices become idle again.
+//!
+//! Activation addresses for `Stream`/`Transfer` tasks come from the
+//! topology's claimed activation windows
+//! ([`crate::addrmap::act_windows`]). Activation buffers are transient,
+//! so when the next task would not fit the cursor wraps to the window
+//! base (buffer reuse) — long op lists never walk out of the claimed
+//! window, which on device-memory trees used to end in a route-stack
+//! panic. A single task larger than the whole window can never fit and
+//! is rejected at compile time with [`RunError::ActWindowOverflow`] —
+//! no event is simulated.
+
+use crate::system::Simulation;
+use crate::{RunError, RunReport, VitReport};
+use accesys_accel::AccelJob;
+use accesys_cpu::CpuOp;
+use accesys_sim::units;
+use accesys_workload::graph::{Affinity, TaskGraph, TaskId, TaskKind};
+
+/// How the dispatcher scheduled one graph: compile-time facts, useful
+/// for asserting overlap in tests and reporting scheduling shape in
+/// experiments. Fully deterministic for a given graph × topology.
+#[derive(Copy, Clone, Debug, Default, serde::Serialize)]
+pub struct DispatchPlan {
+    /// Tasks in the graph.
+    pub tasks: usize,
+    /// Accelerator jobs issued (sync + async).
+    pub launches: u64,
+    /// Jobs issued through the synchronous `LaunchJob` fast path.
+    pub sync_launches: u64,
+    /// Jobs issued `LaunchAsync` (overlappable).
+    pub async_launches: u64,
+    /// `WaitAll` joins emitted.
+    pub waits: u64,
+    /// CPU streaming tasks run.
+    pub streams: u64,
+    /// Inter-stage transfer tasks run.
+    pub transfers: u64,
+    /// Barriers settled.
+    pub barriers: u64,
+    /// Peak accelerator jobs simultaneously in flight.
+    pub max_in_flight: usize,
+}
+
+/// A graph compiled against a concrete simulation: the CPU program, the
+/// accelerator jobs to enqueue (in issue order), and the plan counters.
+pub(crate) struct CompiledGraph {
+    pub program: Vec<CpuOp>,
+    pub jobs: Vec<(usize, AccelJob)>,
+    pub plan: DispatchPlan,
+}
+
+struct InFlight {
+    task: TaskId,
+    cookie: u64,
+    device: usize,
+}
+
+impl Simulation {
+    /// Compile `graph` into a CPU program + job enqueue list without
+    /// touching the kernel or the cookie counter (so a compile error
+    /// leaves the simulation untouched — a retry compiles the exact
+    /// same program a fresh simulation would).
+    pub(crate) fn compile_graph(&mut self, graph: &TaskGraph) -> Result<CompiledGraph, RunError> {
+        graph
+            .validate(self.accel_count())
+            .map_err(|e| RunError::InvalidGraph(e.to_string()))?;
+        let n = graph.len();
+        let (read_win, write_win) = self.act_windows();
+        let read_limit = read_win.base + read_win.size;
+        let write_limit = write_win.base + write_win.size;
+        let mut read_cursor = read_win.base;
+        let mut write_cursor = write_win.base;
+        let mut done = vec![false; n];
+        let mut issued = vec![false; n];
+        let mut done_count = 0usize;
+        let mut busy = vec![false; self.accel_count()];
+        let mut in_flight: Vec<InFlight> = Vec::new();
+        let mut program: Vec<CpuOp> = Vec::new();
+        let mut jobs: Vec<(usize, AccelJob)> = Vec::new();
+        // Cookies are drawn from a local counter and committed to the
+        // simulation only on success, so a failed compile consumes none
+        // (same sequence as Simulation::alloc_cookie).
+        let cookie_base = self.peek_cookie();
+        let mut next_cookie = 0u64;
+        let mut alloc_cookie = move || {
+            let c = (cookie_base + next_cookie) % 1000;
+            next_cookie += 1;
+            c
+        };
+        let mut plan = DispatchPlan {
+            tasks: n,
+            ..DispatchPlan::default()
+        };
+        let deps_met = |done: &[bool], t: TaskId| graph.task(t).deps.iter().all(|&d| done[d]);
+
+        while done_count < n {
+            // 1. Settle ready barriers to fixpoint (zero-cost joins).
+            let mut settled = true;
+            while settled {
+                settled = false;
+                for t in 0..n {
+                    if !done[t]
+                        && matches!(graph.task(t).kind, TaskKind::Barrier)
+                        && deps_met(&done, t)
+                    {
+                        done[t] = true;
+                        done_count += 1;
+                        plan.barriers += 1;
+                        settled = true;
+                    }
+                }
+            }
+            if done_count == n {
+                break;
+            }
+
+            let ready_gemms: Vec<TaskId> = (0..n)
+                .filter(|&t| {
+                    !done[t]
+                        && !issued[t]
+                        && matches!(graph.task(t).kind, TaskKind::Gemm(_))
+                        && deps_met(&done, t)
+                })
+                .collect();
+            let ready_cpu: Vec<TaskId> = (0..n)
+                .filter(|&t| {
+                    !done[t]
+                        && matches!(
+                            graph.task(t).kind,
+                            TaskKind::Stream { .. } | TaskKind::Transfer { .. }
+                        )
+                        && deps_met(&done, t)
+                })
+                .collect();
+
+            // 2. Synchronous fast path: a lone ready GEMM with nothing
+            // else to do or wait for — the sequential drivers' shape.
+            if in_flight.is_empty() && ready_cpu.is_empty() && ready_gemms.len() == 1 {
+                let t = ready_gemms[0];
+                let TaskKind::Gemm(spec) = graph.task(t).kind else {
+                    unreachable!("ready_gemms holds GEMMs");
+                };
+                let dev = match graph.task(t).affinity {
+                    Affinity::Pinned(d) => d,
+                    Affinity::AnyAccel => 0,
+                };
+                let cookie = alloc_cookie();
+                jobs.push((dev, self.layout_job(&spec, cookie, None, dev)));
+                program.push(CpuOp::Mark {
+                    label: format!("gemm:{}", graph.task(t).name),
+                });
+                program.push(CpuOp::LaunchJob {
+                    doorbell_addr: self.device(dev).doorbell,
+                    job_cookie: cookie,
+                });
+                plan.launches += 1;
+                plan.sync_launches += 1;
+                issued[t] = true;
+                done[t] = true;
+                done_count += 1;
+                continue;
+            }
+
+            let mut advanced = false;
+            // 3. Issue every ready GEMM that can get an idle eligible
+            // device, in task-id order.
+            for &t in &ready_gemms {
+                let TaskKind::Gemm(spec) = graph.task(t).kind else {
+                    unreachable!("ready_gemms holds GEMMs");
+                };
+                let dev = match graph.task(t).affinity {
+                    Affinity::Pinned(d) => (!busy[d]).then_some(d),
+                    Affinity::AnyAccel => busy.iter().position(|&b| !b),
+                };
+                let Some(dev) = dev else {
+                    continue; // no idle eligible device: stays pending
+                };
+                let cookie = alloc_cookie();
+                jobs.push((dev, self.layout_job(&spec, cookie, None, dev)));
+                program.push(CpuOp::Mark {
+                    label: format!("gemm:{}", graph.task(t).name),
+                });
+                program.push(CpuOp::LaunchAsync {
+                    doorbell_addr: self.device(dev).doorbell,
+                });
+                busy[dev] = true;
+                in_flight.push(InFlight {
+                    task: t,
+                    cookie,
+                    device: dev,
+                });
+                issued[t] = true;
+                plan.launches += 1;
+                plan.async_launches += 1;
+                plan.max_in_flight = plan.max_in_flight.max(in_flight.len());
+                advanced = true;
+            }
+            // 4. Run every ready CPU task inline: these stream while the
+            // jobs issued above are in flight.
+            for &t in &ready_cpu {
+                let task = graph.task(t);
+                let (label, rb, wb, flops) = match task.kind {
+                    TaskKind::Stream {
+                        read_bytes,
+                        write_bytes,
+                        flops,
+                    } => {
+                        plan.streams += 1;
+                        (
+                            format!("nongemm:{}", task.name),
+                            read_bytes,
+                            write_bytes,
+                            flops,
+                        )
+                    }
+                    TaskKind::Transfer { bytes } => {
+                        plan.transfers += 1;
+                        (format!("xfer:{}", task.name), bytes, bytes, 0)
+                    }
+                    _ => unreachable!("ready_cpu holds Stream/Transfer"),
+                };
+                // Activation buffers are transient: when the next task
+                // would not fit, its cursor wraps to the window base
+                // (buffer reuse), so long op lists stay inside the
+                // claimed window instead of silently walking out of it.
+                // A single task bigger than the whole window can never
+                // fit and is a typed error.
+                if rb > read_win.size {
+                    return Err(RunError::ActWindowOverflow {
+                        window: "read",
+                        needed_end: read_win.base + rb,
+                        limit: read_limit,
+                    });
+                }
+                if wb > write_win.size {
+                    return Err(RunError::ActWindowOverflow {
+                        window: "write",
+                        needed_end: write_win.base + wb,
+                        limit: write_limit,
+                    });
+                }
+                if read_cursor + rb > read_limit {
+                    read_cursor = read_win.base;
+                }
+                if write_cursor + wb > write_limit {
+                    write_cursor = write_win.base;
+                }
+                program.push(CpuOp::Mark { label });
+                program.push(CpuOp::Stream {
+                    read_bytes: rb,
+                    write_bytes: wb,
+                    flops,
+                    read_addr: read_cursor,
+                    write_addr: write_cursor,
+                });
+                read_cursor += rb;
+                write_cursor += wb;
+                done[t] = true;
+                done_count += 1;
+                advanced = true;
+            }
+            if advanced {
+                continue;
+            }
+
+            // 5. Blocked: pick a wait set. When the smallest-id blocked
+            // task needs *everything* in flight (a join), one WaitAll
+            // over all cookies reproduces the old fork-join drivers.
+            // Otherwise drain the earliest-issued cookie only (FIFO):
+            // launch order approximates completion order, so the CPU
+            // wakes as early as possible and re-issues freshly ready
+            // work — this is what keeps independent pipelines advancing
+            // instead of one chain starving the others.
+            let target = (0..n).find(|&t| {
+                !done[t]
+                    && !issued[t]
+                    && graph.task(t).deps.iter().any(|&d| !done[d])
+                    && graph
+                        .task(t)
+                        .deps
+                        .iter()
+                        .all(|&d| done[d] || in_flight.iter().any(|f| f.task == d))
+            });
+            let waiting: Vec<usize> = match target {
+                Some(t) => {
+                    let dep_set: Vec<usize> = in_flight
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| graph.task(t).deps.contains(&f.task))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if dep_set.len() == in_flight.len() {
+                        dep_set
+                    } else {
+                        vec![0]
+                    }
+                }
+                None => (0..in_flight.len()).collect(),
+            };
+            if waiting.is_empty() {
+                // Validation excludes cycles and bad pins, so a block
+                // with nothing in flight cannot happen; guard anyway so
+                // a future bug errors instead of spinning forever.
+                return Err(RunError::InvalidGraph(
+                    "dispatcher deadlock: tasks remain but nothing is in flight".into(),
+                ));
+            }
+            program.push(CpuOp::WaitAll {
+                cookies: waiting.iter().map(|&i| in_flight[i].cookie).collect(),
+            });
+            plan.waits += 1;
+            for &i in waiting.iter().rev() {
+                let f = in_flight.remove(i);
+                busy[f.device] = false;
+                done[f.task] = true;
+                done_count += 1;
+            }
+        }
+
+        // Drain any in-flight jobs nothing depended on.
+        if !in_flight.is_empty() {
+            program.push(CpuOp::WaitAll {
+                cookies: in_flight.iter().map(|f| f.cookie).collect(),
+            });
+            plan.waits += 1;
+        }
+        Ok(CompiledGraph {
+            program,
+            jobs,
+            plan,
+        })
+    }
+
+    /// Execute `graph` on this system: compile it (validating structure
+    /// and activation windows), enqueue the accelerator jobs, run the
+    /// CPU program to completion, and report phases/jobs/stats exactly
+    /// like the layer drivers do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InvalidGraph`] or
+    /// [`RunError::ActWindowOverflow`] at compile time (no events
+    /// simulated), or any simulation [`RunError`] from the run itself.
+    pub fn run_graph(&mut self, graph: &TaskGraph) -> Result<VitReport, RunError> {
+        self.run_graph_planned(graph).map(|(report, _)| report)
+    }
+
+    /// [`Simulation::run_graph`] returning the [`DispatchPlan`] next to
+    /// the report, for callers that assert on scheduling shape.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_graph`].
+    pub fn run_graph_planned(
+        &mut self,
+        graph: &TaskGraph,
+    ) -> Result<(VitReport, DispatchPlan), RunError> {
+        let compiled = self.compile_graph(graph)?;
+        self.commit_cookies(compiled.plan.launches);
+        let before = self.record_marks();
+        for (dev, job) in compiled.jobs {
+            self.enqueue(job, dev);
+        }
+        let (elapsed, marks) = self.run_program(compiled.program)?;
+        let mut phases = Vec::new();
+        for pair in marks.windows(2) {
+            let (label, t0) = (&pair[0].0, pair[0].1);
+            let t1 = pair[1].1;
+            phases.push((label.clone(), units::to_ns(t1 - t0)));
+        }
+        Ok((
+            VitReport {
+                total_ticks: elapsed,
+                phases,
+                jobs: self.records_since(&before),
+                stats: self.stats(),
+            },
+            compiled.plan,
+        ))
+    }
+
+    /// Execute `graph` and report as a [`RunReport`] (GEMM-shaped
+    /// workloads: fork-join shards, multi-GEMM mixes).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_graph`].
+    pub fn run_graph_gemm(&mut self, graph: &TaskGraph) -> Result<RunReport, RunError> {
+        let report = self.run_graph(graph)?;
+        Ok(RunReport {
+            total_ticks: report.total_ticks,
+            jobs: report.jobs,
+            smmu: self.smmu_stats(),
+            stats: report.stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{switch_tree, switch_tree_with, EndpointOptions};
+    use crate::{MemBackendConfig, SystemConfig};
+    use accesys_mem::MemTech;
+    use accesys_workload::graph::{
+        gemm_fork_join, head_parallel_attention, op_chain, pipelined_encoder, two_tenant_mix,
+        PipelineSpec, TaskGraph,
+    };
+    use accesys_workload::{encoder_ops, BertModel, GemmSpec, VitModel};
+
+    /// A multi-accelerator tree where device parallelism can actually
+    /// show: every leaf holds its working set in local device memory (no
+    /// shared-uplink serialization of job DMA), compute is pinned at a
+    /// fixed per-job cost, and CPU activations stay in fast host DRAM.
+    fn tree_sim(levels: &[u32]) -> Simulation {
+        let mut cfg =
+            SystemConfig::pcie_host(16.0, MemTech::Ddr4).with_compute_override_ns(50_000.0);
+        cfg.smmu = None;
+        let spec = switch_tree_with(&cfg, levels, |_| EndpointOptions {
+            accel: None,
+            dev_mem: Some(MemBackendConfig::Dram(MemTech::Hbm2)),
+        })
+        .expect("valid tree");
+        Simulation::from_topology(cfg, &spec).expect("valid topology")
+    }
+
+    /// A small synthetic encoder pipeline (fast to simulate).
+    fn small_pipeline(images: u32, devices: usize) -> TaskGraph {
+        pipelined_encoder(
+            64,
+            128,
+            4,
+            512,
+            &PipelineSpec {
+                layers: 4,
+                images,
+                devices,
+            },
+        )
+    }
+
+    #[test]
+    fn invalid_graphs_are_rejected_before_any_event() {
+        let mut sim = Simulation::new(SystemConfig::paper_baseline()).unwrap();
+        let mut g = TaskGraph::new();
+        let a = g.add(
+            "a",
+            TaskKind::Gemm(GemmSpec::square(32)),
+            Affinity::AnyAccel,
+            vec![],
+        );
+        let b = g.add(
+            "b",
+            TaskKind::Gemm(GemmSpec::square(32)),
+            Affinity::AnyAccel,
+            vec![a],
+        );
+        g.add_dep(a, b);
+        let err = sim.run_graph(&g).unwrap_err();
+        assert!(matches!(err, RunError::InvalidGraph(_)), "got {err}");
+        // Nothing ran: the kernel clock never moved.
+        assert_eq!(sim.kernel().now(), 0);
+    }
+
+    #[test]
+    fn act_cursors_never_walk_out_of_the_claimed_window() {
+        // Regression: the sequential driver advanced its activation
+        // cursors unchecked, so a large-enough op list silently walked
+        // out of the claimed window (on devmem trees that ends in a
+        // route-stack panic). The dispatcher wraps cursors at the
+        // window end instead (activation buffers are transient), so
+        // every compiled address stays inside the claimed split.
+        let mut sim = Simulation::new(SystemConfig::paper_baseline()).unwrap();
+        let (read_win, write_win) = sim.act_windows();
+        let mut g = TaskGraph::new();
+        let half = crate::addrmap::ACT_SPLIT / 2;
+        let mut prev = None;
+        for i in 0..5 {
+            let deps = prev.into_iter().collect();
+            prev = Some(g.add(
+                format!("s{i}"),
+                TaskKind::Stream {
+                    read_bytes: half,
+                    write_bytes: half,
+                    flops: 0,
+                },
+                Affinity::AnyAccel,
+                deps,
+            ));
+        }
+        let compiled = sim.compile_graph(&g).unwrap();
+        let mut streams = 0;
+        for op in &compiled.program {
+            if let CpuOp::Stream {
+                read_addr,
+                write_addr,
+                read_bytes,
+                write_bytes,
+                ..
+            } = op
+            {
+                streams += 1;
+                assert!(read_addr + read_bytes <= read_win.base + read_win.size);
+                assert!(write_addr + write_bytes <= write_win.base + write_win.size);
+                assert!(*read_addr >= read_win.base && *write_addr >= write_win.base);
+            }
+        }
+        assert_eq!(streams, 5);
+        // The third stream wrapped back to the window base.
+        let CpuOp::Stream { read_addr, .. } = &compiled.program[2 * 2 + 1] else {
+            panic!("stream op expected");
+        };
+        assert_eq!(*read_addr, read_win.base, "third stream wraps");
+        // …and the wrapped program really runs.
+        assert!(sim.run_graph(&g).unwrap().total_time_ns() > 0.0);
+    }
+
+    #[test]
+    fn oversized_single_streams_are_a_typed_error() {
+        // A single task bigger than the whole window can never fit:
+        // typed error at compile time, no event simulated.
+        let mut sim = Simulation::new(SystemConfig::paper_baseline()).unwrap();
+        let mut g = TaskGraph::new();
+        g.add(
+            "huge",
+            TaskKind::Stream {
+                read_bytes: crate::addrmap::ACT_SPLIT + 1,
+                write_bytes: 0,
+                flops: 0,
+            },
+            Affinity::AnyAccel,
+            vec![],
+        );
+        let err = sim.run_graph(&g).unwrap_err();
+        assert!(
+            matches!(err, RunError::ActWindowOverflow { window: "read", .. }),
+            "got {err}"
+        );
+        assert_eq!(sim.kernel().now(), 0, "rejected before any event");
+        // The single-stream entry point is bounds-checked the same way.
+        let err = sim
+            .run_stream(0, crate::addrmap::ACT_SPLIT + 1, 0)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RunError::ActWindowOverflow {
+                    window: "write",
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn failed_compiles_consume_no_cookies() {
+        // A rejected graph must leave the simulation exactly as a fresh
+        // one: the next successful run draws the same cookie sequence
+        // (cookies feed MSI addresses and JobRecord JSON).
+        let mut fresh = Simulation::new(SystemConfig::paper_baseline()).unwrap();
+        let mut used = Simulation::new(SystemConfig::paper_baseline()).unwrap();
+        let mut bad = TaskGraph::new();
+        bad.add(
+            "g",
+            TaskKind::Gemm(GemmSpec::square(32)),
+            Affinity::AnyAccel,
+            vec![],
+        );
+        bad.add(
+            "huge",
+            TaskKind::Stream {
+                read_bytes: crate::addrmap::ACT_SPLIT + 1,
+                write_bytes: 0,
+                flops: 0,
+            },
+            Affinity::AnyAccel,
+            vec![0],
+        );
+        assert!(used.run_graph(&bad).is_err());
+        let ok = op_chain(&encoder_ops(64, 128, 4, 512));
+        let a = fresh.run_graph(&ok).unwrap();
+        let b = used.run_graph(&ok).unwrap();
+        let cookies = |r: &crate::VitReport| r.jobs.iter().map(|j| j.cookie).collect::<Vec<_>>();
+        assert_eq!(cookies(&a), cookies(&b));
+    }
+
+    #[test]
+    fn paper_scale_full_models_compile_within_the_window() {
+        // Full ViT-Large/Huge graphs and paper-scale pipeline chains
+        // exceed 128 MiB of activations; the wrap keeps them
+        // compilable (pre-wrap this was a guaranteed error).
+        let mut sim = Simulation::new(SystemConfig::paper_baseline()).unwrap();
+        for model in [VitModel::Large, VitModel::Huge] {
+            let ops = accesys_workload::vit_full_ops(model);
+            let compiled = sim.compile_graph(&op_chain(&ops)).unwrap();
+            assert!(!compiled.program.is_empty(), "{model} compiles");
+        }
+    }
+
+    #[test]
+    fn devmem_tree_write_window_is_clamped_to_the_claimed_slice() {
+        // On a per-slice devmem tree the write window ends at the slice
+        // boundary — the old driver would have streamed into unclaimed
+        // addresses and panicked the route stack.
+        let cfg = SystemConfig::devmem(MemTech::Hbm2);
+        let spec = switch_tree(&cfg, &[2]).unwrap();
+        let mut sim = Simulation::from_topology(cfg, &spec).unwrap();
+        let (_, write_win) = sim.act_windows();
+        assert!(write_win.size < crate::addrmap::ACT_SPLIT);
+        let err = sim.run_stream(0, write_win.size + 1, 0).unwrap_err();
+        assert!(matches!(err, RunError::ActWindowOverflow { .. }), "{err}");
+        // Within the clamped window it still runs (and over real wires).
+        assert!(sim.run_stream(1 << 20, 1 << 20, 0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn chain_graphs_issue_synchronously_like_the_sequential_driver() {
+        let mut sim = Simulation::new(SystemConfig::paper_baseline()).unwrap();
+        let ops = encoder_ops(64, 128, 4, 512);
+        let (report, plan) = sim.run_graph_planned(&op_chain(&ops)).unwrap();
+        assert_eq!(plan.sync_launches, plan.launches);
+        assert_eq!(plan.async_launches, 0);
+        assert_eq!(plan.waits, 0);
+        assert_eq!(plan.max_in_flight, 0);
+        assert!(report.gemm_ns() > 0.0 && report.non_gemm_ns() > 0.0);
+    }
+
+    #[test]
+    fn fork_join_graphs_fan_out_like_the_old_sharded_loop() {
+        let mut sim = tree_sim(&[4]);
+        let (report, plan) = sim
+            .run_graph_planned(&gemm_fork_join(GemmSpec::square(256), 4))
+            .unwrap();
+        assert_eq!(plan.async_launches, 4);
+        assert_eq!(plan.max_in_flight, 4);
+        assert_eq!(plan.waits, 1);
+        assert_eq!(plan.barriers, 1);
+        assert_eq!(report.jobs.len(), 4);
+    }
+
+    #[test]
+    fn pipelined_encoder_beats_the_sequential_chain_on_a_tree() {
+        // Same total work, two schedules: a chain through device 0 vs a
+        // 4-stage pipeline over 4 leaves with 3 images in flight.
+        let images = 3u32;
+        let chain_ops: Vec<_> = (0..images * 4)
+            .flat_map(|_| encoder_ops(64, 128, 4, 512))
+            .collect();
+        let mut seq_sim = tree_sim(&[4]);
+        let seq = seq_sim.run_graph(&op_chain(&chain_ops)).unwrap();
+
+        let mut pipe_sim = tree_sim(&[4]);
+        let (pipe, plan) = pipe_sim
+            .run_graph_planned(&small_pipeline(images, 4))
+            .unwrap();
+        assert!(
+            plan.max_in_flight >= 2,
+            "pipeline never overlapped devices: {plan:?}"
+        );
+        assert!(plan.transfers > 0, "no inter-stage handoffs: {plan:?}");
+        assert!(pipe.transfer_ns() > 0.0);
+        let speedup = seq.total_time_ns() / pipe.total_time_ns();
+        assert!(
+            speedup > 1.2,
+            "pipelining should beat the chain, got {speedup:.2}x \
+             (seq {:.0} ns, pipe {:.0} ns)",
+            seq.total_time_ns(),
+            pipe.total_time_ns()
+        );
+        // Every leaf did real work.
+        for i in 0..4 {
+            assert!(
+                pipe.stats.get_or_zero(&format!("accel{i}.jobs_done")) >= 1.0,
+                "leaf {i} idle"
+            );
+        }
+    }
+
+    #[test]
+    fn head_parallel_attention_spreads_heads_over_the_pool() {
+        let mut sim = tree_sim(&[2, 2]);
+        let (report, plan) = sim
+            .run_graph_planned(&head_parallel_attention(VitModel::Base))
+            .unwrap();
+        assert!(
+            plan.max_in_flight >= 2,
+            "heads never ran concurrently: {plan:?}"
+        );
+        // All four leaves picked up head work (AnyAccel round-robin).
+        for i in 0..4 {
+            assert!(
+                report.stats.get_or_zero(&format!("accel{i}.jobs_done")) >= 1.0,
+                "leaf {i} idle"
+            );
+        }
+        // 12 heads × (scores + attnv) + qkv + proj + fc1 + fc2.
+        assert_eq!(report.jobs.len(), 2 * 12 + 4);
+    }
+
+    #[test]
+    fn two_tenant_mix_interleaves_on_shared_devices() {
+        let mut sim = tree_sim(&[2]);
+        let (report, plan) = sim
+            .run_graph_planned(&two_tenant_mix(VitModel::Base, BertModel::Base, 128))
+            .unwrap();
+        // The two tenant chains overlap on the two devices.
+        assert!(
+            plan.max_in_flight == 2,
+            "tenants never overlapped: {plan:?}"
+        );
+        assert!(report.total_time_ns() > 0.0);
+        assert!(report.stats.get_or_zero("accel0.jobs_done") >= 1.0);
+        assert!(report.stats.get_or_zero("accel1.jobs_done") >= 1.0);
+    }
+
+    #[test]
+    fn pinned_tasks_queue_for_their_busy_device() {
+        // Three independent GEMMs all pinned to device 0 of a 2-leaf
+        // tree: they must serialize on device 0 and never touch device 1.
+        let mut sim = tree_sim(&[2]);
+        let mut g = TaskGraph::new();
+        for i in 0..3 {
+            g.add(
+                format!("pin{i}"),
+                TaskKind::Gemm(GemmSpec::square(64)),
+                Affinity::Pinned(0),
+                vec![],
+            );
+        }
+        let (report, plan) = sim.run_graph_planned(&g).unwrap();
+        assert_eq!(report.jobs.len(), 3);
+        assert_eq!(plan.max_in_flight, 1);
+        assert_eq!(report.stats.get_or_zero("accel0.jobs_done"), 3.0);
+        assert_eq!(report.stats.get_or_zero("accel1.jobs_done"), 0.0);
+    }
+}

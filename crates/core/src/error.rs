@@ -41,6 +41,24 @@ pub enum RunError {
     /// The run drained its event queue without reaching completion —
     /// a dropped interrupt or a wiring hole.
     NoCompletion(String),
+    /// The workload graph is structurally invalid for this system
+    /// (cycle, dangling dependency, pin outside the device count) —
+    /// caught before any event is simulated.
+    InvalidGraph(String),
+    /// A single streaming task is larger than the whole claimed
+    /// activation window (`[base, base + size)`) and can never fit:
+    /// caught at dispatch time instead of silently streaming out of the
+    /// claimed address slice (which, on device-memory topologies, ends
+    /// in a route-stack panic). Sequences of fitting tasks never hit
+    /// this — their cursors wrap at the window end (buffer reuse).
+    ActWindowOverflow {
+        /// `"read"` or `"write"` — which half of the split overflowed.
+        window: &'static str,
+        /// First byte past the end the workload would have touched.
+        needed_end: u64,
+        /// First byte past the claimed window.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -50,6 +68,16 @@ impl std::fmt::Display for RunError {
             RunError::NoCompletion(what) => {
                 write!(f, "run finished without completing: {what}")
             }
+            RunError::InvalidGraph(what) => write!(f, "invalid workload graph: {what}"),
+            RunError::ActWindowOverflow {
+                window,
+                needed_end,
+                limit,
+            } => write!(
+                f,
+                "activation {window} window overflow: workload needs addresses up to \
+                 {needed_end:#x} but the claimed window ends at {limit:#x}"
+            ),
         }
     }
 }
@@ -58,7 +86,7 @@ impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RunError::Sim(e) => Some(e),
-            RunError::NoCompletion(_) => None,
+            _ => None,
         }
     }
 }

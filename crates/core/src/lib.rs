@@ -36,14 +36,19 @@
 //! The [`topology`] module is the declarative layer underneath all of
 //! this: a graph IR plus a generic wiring engine, of which the Fig. 1
 //! shape is one preset ([`SystemConfig::topology`]) and multi-level
-//! switch trees another ([`topology::switch_tree`]). The [`analytic`]
-//! module implements the paper's Section V-D workload-composition model
+//! switch trees another ([`topology::switch_tree`]). Its workload-side
+//! mirror is the task-graph layer: workloads are
+//! [`accesys_workload::graph::TaskGraph`]s (chains, fork-join shards,
+//! pipelines, tenant mixes) executed by the dependency-driven
+//! dispatcher ([`Simulation::run_graph`]). The [`analytic`] module
+//! implements the paper's Section V-D workload-composition model
 //! (Fig. 9 thresholds), and [`addrmap`] documents the simulated
 //! physical address map.
 
 pub mod addrmap;
 pub mod analytic;
 mod config;
+mod dispatch;
 mod error;
 mod report;
 mod system;
@@ -52,6 +57,7 @@ pub mod topology;
 pub use config::{
     AccessMode, InterconnectKind, MemBackendConfig, MemoryLocation, PcieConfig, SystemConfig,
 };
+pub use dispatch::DispatchPlan;
 pub use error::{BuildError, Error, RunError};
 pub use report::{RunReport, VitReport};
 pub use system::Simulation;

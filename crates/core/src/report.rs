@@ -116,9 +116,15 @@ impl VitReport {
         self.phase_sum("nongemm:")
     }
 
-    /// Residual time not covered by either phase class.
+    /// Time spent in inter-stage transfer phases (pipelined graphs hand
+    /// activations between devices as `xfer:` tasks).
+    pub fn transfer_ns(&self) -> f64 {
+        self.phase_sum("xfer:")
+    }
+
+    /// Residual time not covered by any phase class.
     pub fn other_ns(&self) -> f64 {
-        (self.total_time_ns() - self.gemm_ns() - self.non_gemm_ns()).max(0.0)
+        (self.total_time_ns() - self.gemm_ns() - self.non_gemm_ns() - self.transfer_ns()).max(0.0)
     }
 
     /// Fraction of the layer spent in Non-GEMM work.

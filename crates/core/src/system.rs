@@ -10,9 +10,10 @@ use crate::topology::{DeviceHandles, TopologyHandles, TopologySpec};
 use crate::{BuildError, MemoryLocation, RunError, RunReport, SystemConfig, VitReport};
 use accesys_accel::{AccelController, AccelJob, GemmOperands};
 use accesys_cpu::{CpuComplex, CpuOp};
+use accesys_interconnect::AddrRange;
 use accesys_sim::{units, Kernel, ModuleId, Msg, RunLimit, Stats, Tick};
 use accesys_smmu::{Smmu, SmmuStats};
-use accesys_workload::{vit_ops, GemmSpec, VitModel};
+use accesys_workload::{graph, vit_ops, GemmSpec, VitModel};
 use std::sync::Arc;
 
 /// A built system ready to run workloads.
@@ -113,13 +114,24 @@ impl Simulation {
         self.kernel.stats()
     }
 
-    fn alloc_cookie(&mut self) -> u64 {
+    pub(crate) fn alloc_cookie(&mut self) -> u64 {
         let c = self.next_cookie % 1000;
         self.next_cookie += 1;
         c
     }
 
-    fn device(&self, i: usize) -> &DeviceHandles {
+    /// The next cookie value without consuming it (the graph compiler
+    /// draws from a local counter and commits only on success).
+    pub(crate) fn peek_cookie(&self) -> u64 {
+        self.next_cookie
+    }
+
+    /// Consume `count` cookies after a successful graph compile.
+    pub(crate) fn commit_cookies(&mut self, count: u64) {
+        self.next_cookie += count;
+    }
+
+    pub(crate) fn device(&self, i: usize) -> &DeviceHandles {
         &self.topo.devices[i]
     }
 
@@ -136,10 +148,17 @@ impl Simulation {
         }
     }
 
+    /// The claimed `(read, write)` activation windows CPU streaming may
+    /// use — the single source of the read/write split
+    /// ([`addrmap::act_windows`]) every stream-address producer shares.
+    pub(crate) fn act_windows(&self) -> (AddrRange, AddrRange) {
+        addrmap::act_windows(self.act_base())
+    }
+
     /// Lay out one GEMM job in device `device`'s configured data window
     /// (each device works in its own slice so concurrent shards never
     /// alias rows).
-    fn layout_job(
+    pub(crate) fn layout_job(
         &self,
         spec: &GemmSpec,
         cookie: u64,
@@ -170,7 +189,7 @@ impl Simulation {
         }
     }
 
-    fn enqueue(&mut self, job: AccelJob, device: usize) {
+    pub(crate) fn enqueue(&mut self, job: AccelJob, device: usize) {
         let ctrl = self.device(device).ctrl;
         self.kernel
             .module_mut::<AccelController>(ctrl)
@@ -178,7 +197,7 @@ impl Simulation {
             .enqueue_job(job);
     }
 
-    fn run_program(
+    pub(crate) fn run_program(
         &mut self,
         program: Vec<CpuOp>,
     ) -> Result<(Tick, Vec<(String, Tick)>), RunError> {
@@ -203,7 +222,7 @@ impl Simulation {
         Ok((end - start, marks))
     }
 
-    fn record_marks(&self) -> Vec<usize> {
+    pub(crate) fn record_marks(&self) -> Vec<usize> {
         self.topo
             .devices
             .iter()
@@ -217,7 +236,7 @@ impl Simulation {
             .collect()
     }
 
-    fn records_since(&self, before: &[usize]) -> Vec<accesys_accel::JobRecord> {
+    pub(crate) fn records_since(&self, before: &[usize]) -> Vec<accesys_accel::JobRecord> {
         let mut out = Vec::new();
         for (i, d) in self.topo.devices.iter().enumerate() {
             let recs = self
@@ -355,59 +374,34 @@ impl Simulation {
 
     /// Run one GEMM split row-wise across **all** devices: shard `i`
     /// computes rows `[i*m/N, (i+1)*m/N)` on accelerator `i`, all
-    /// launched asynchronously and joined on their MSIs.
+    /// launched asynchronously and joined on their MSIs — the fork-join
+    /// lowering ([`graph::gemm_fork_join`]) executed by the generic
+    /// dispatcher.
     ///
-    /// With one device this degenerates to [`Simulation::run_gemm`]
-    /// (modulo the async driver path). Works on any topology — the
-    /// shards land wherever each device's data placement says.
+    /// With one device this degenerates to [`Simulation::run_gemm`].
+    /// Works on any topology — the shards land wherever each device's
+    /// data placement says.
     ///
     /// # Errors
     ///
     /// Returns [`RunError`] if the simulation livelocks or any interrupt
     /// is lost.
     pub fn run_gemm_sharded(&mut self, spec: GemmSpec) -> Result<RunReport, RunError> {
-        let n = self.accel_count() as u32;
-        let before = self.record_marks();
-        let rows_per = spec.m.div_ceil(n);
-        let mut program = vec![CpuOp::Mark {
-            label: "gemm:sharded".into(),
-        }];
-        let mut cookies = Vec::new();
-        for dev in 0..n {
-            let row0 = dev * rows_per;
-            if row0 >= spec.m {
-                break;
-            }
-            let rows = rows_per.min(spec.m - row0);
-            let shard = GemmSpec { m: rows, ..spec };
-            let cookie = self.alloc_cookie();
-            let job = self.layout_job(&shard, cookie, None, dev as usize);
-            self.enqueue(job, dev as usize);
-            program.push(CpuOp::LaunchAsync {
-                doorbell_addr: self.device(dev as usize).doorbell,
-            });
-            cookies.push(cookie);
-        }
-        program.push(CpuOp::WaitAll { cookies });
-        let (elapsed, _marks) = self.run_program(program)?;
-        Ok(RunReport {
-            total_ticks: elapsed,
-            jobs: self.records_since(&before),
-            smmu: self.smmu_stats(),
-            stats: self.stats(),
-        })
+        self.run_graph_gemm(&graph::gemm_fork_join(spec, self.accel_count()))
     }
 
     /// Run one encoder layer of `model`: GEMM operators offloaded to the
     /// accelerator, Non-GEMM operators streamed on the CPU from the
-    /// configured memory location.
+    /// configured memory location. Lowers to a chain
+    /// [`graph::TaskGraph`] ([`graph::op_chain`]) executed by the
+    /// generic dispatcher, reproducing the sequential driver exactly.
     ///
     /// # Errors
     ///
     /// Returns [`RunError`] if the simulation livelocks or an interrupt
     /// is lost.
     pub fn run_vit_layer(&mut self, model: VitModel) -> Result<VitReport, RunError> {
-        self.run_ops(&vit_ops(model))
+        self.run_graph(&graph::op_chain(&vit_ops(model)))
     }
 
     /// Run the full ViT inference graph (embedding, every encoder layer,
@@ -420,7 +414,7 @@ impl Simulation {
     /// Returns [`RunError`] if the simulation livelocks or an interrupt
     /// is lost.
     pub fn run_vit_full(&mut self, model: VitModel) -> Result<VitReport, RunError> {
-        self.run_ops(&accesys_workload::vit_full_ops(model))
+        self.run_graph(&graph::op_chain(&accesys_workload::vit_full_ops(model)))
     }
 
     /// Run one BERT encoder layer at `seq_len` tokens — the NLP workload
@@ -436,72 +430,39 @@ impl Simulation {
         model: accesys_workload::BertModel,
         seq_len: u32,
     ) -> Result<VitReport, RunError> {
-        self.run_ops(&accesys_workload::bert_ops(model, seq_len))
-    }
-
-    fn run_ops(&mut self, ops: &[accesys_workload::Op]) -> Result<VitReport, RunError> {
-        let mut program = Vec::new();
-        let act_base = self.act_base();
-        let mut read_cursor = act_base;
-        let mut write_cursor = act_base + 0x0800_0000;
-        let before = self.record_marks();
-        for op in ops {
-            if let Some(g) = op.gemm {
-                for _ in 0..op.count {
-                    let cookie = self.alloc_cookie();
-                    let job = self.layout_job(&g, cookie, None, 0);
-                    self.enqueue(job, 0);
-                    program.push(CpuOp::Mark {
-                        label: format!("gemm:{}", op.name),
-                    });
-                    program.push(CpuOp::LaunchJob {
-                        doorbell_addr: self.device(0).doorbell,
-                        job_cookie: cookie,
-                    });
-                }
-            } else {
-                program.push(CpuOp::Mark {
-                    label: format!("nongemm:{}", op.name),
-                });
-                program.push(CpuOp::Stream {
-                    read_bytes: op.read_bytes * u64::from(op.count),
-                    write_bytes: op.write_bytes * u64::from(op.count),
-                    flops: op.flops * u64::from(op.count),
-                    read_addr: read_cursor,
-                    write_addr: write_cursor,
-                });
-                read_cursor += op.read_bytes * u64::from(op.count);
-                write_cursor += op.write_bytes * u64::from(op.count);
-            }
-        }
-        let (elapsed, marks) = self.run_program(program)?;
-        // Convert marks into phase durations.
-        let mut phases = Vec::new();
-        for pair in marks.windows(2) {
-            let (label, t0) = (&pair[0].0, pair[0].1);
-            let t1 = pair[1].1;
-            phases.push((label.clone(), units::to_ns(t1 - t0)));
-        }
-        Ok(VitReport {
-            total_ticks: elapsed,
-            phases,
-            jobs: self.records_since(&before),
-            stats: self.stats(),
-        })
+        self.run_graph(&graph::op_chain(&accesys_workload::bert_ops(
+            model, seq_len,
+        )))
     }
 
     /// Run a single CPU streaming kernel (used by NUMA micro-studies).
     ///
     /// # Errors
     ///
-    /// Returns [`RunError`] if the program does not finish.
+    /// Returns [`RunError::ActWindowOverflow`] when the stream would
+    /// walk past the claimed activation windows, or any [`RunError`] if
+    /// the program does not finish.
     pub fn run_stream(
         &mut self,
         read_bytes: u64,
         write_bytes: u64,
         flops: u64,
     ) -> Result<f64, RunError> {
-        let act_base = self.act_base();
+        let (read_win, write_win) = self.act_windows();
+        if read_bytes > read_win.size {
+            return Err(RunError::ActWindowOverflow {
+                window: "read",
+                needed_end: read_win.base + read_bytes,
+                limit: read_win.base + read_win.size,
+            });
+        }
+        if write_bytes > write_win.size {
+            return Err(RunError::ActWindowOverflow {
+                window: "write",
+                needed_end: write_win.base + write_bytes,
+                limit: write_win.base + write_win.size,
+            });
+        }
         let program = vec![
             CpuOp::Mark {
                 label: "nongemm:stream".into(),
@@ -510,8 +471,8 @@ impl Simulation {
                 read_bytes,
                 write_bytes,
                 flops,
-                read_addr: act_base,
-                write_addr: act_base + 0x0800_0000,
+                read_addr: read_win.base,
+                write_addr: write_win.base,
             },
         ];
         let (elapsed, _) = self.run_program(program)?;

@@ -393,11 +393,17 @@ impl CpuComplex {
                 ctx.timer(units::ns(self.cfg.irq_latency_ns), TAG_NEXT);
             }
             State::WaitAll { remaining } => {
-                remaining.remove(&cookie);
-                if remaining.is_empty() {
-                    self.wait_ns += units::to_ns(ctx.now() - self.wait_started);
-                    self.state = State::Idle;
-                    ctx.timer(units::ns(self.cfg.irq_latency_ns), TAG_NEXT);
+                if remaining.remove(&cookie) {
+                    if remaining.is_empty() {
+                        self.wait_ns += units::to_ns(ctx.now() - self.wait_started);
+                        self.state = State::Idle;
+                        ctx.timer(units::ns(self.cfg.irq_latency_ns), TAG_NEXT);
+                    }
+                } else {
+                    // An MSI for a job this wait does not cover (another
+                    // in-flight launch finishing early): latch it for
+                    // the later wait instead of dropping it.
+                    self.seen_irqs.insert(cookie);
                 }
             }
             _ => {
@@ -708,6 +714,29 @@ mod tests {
         let (end, _) = fanout_rig(1.0, program);
         // Finishes right after the delay + irq latency, no deadlock.
         assert!(units::to_ns(end) < 7_000.0);
+    }
+
+    #[test]
+    fn wait_all_latches_msis_outside_its_cookie_set() {
+        // Regression: cookie 0's MSI (at 1·base) arrives while the CPU
+        // waits on cookie 1 (at 2·base). The out-of-set MSI must be
+        // latched for the second wait, not silently dropped — partial
+        // waits are how the graph dispatcher pipelines devices.
+        let program = vec![
+            CpuOp::LaunchAsync {
+                doorbell_addr: 0x1_0000_0000,
+            },
+            CpuOp::LaunchAsync {
+                doorbell_addr: 0x1_0100_0000,
+            },
+            CpuOp::WaitAll { cookies: vec![1] },
+            CpuOp::WaitAll { cookies: vec![0] },
+        ];
+        let (end, irqs) = fanout_rig(10_000.0, program);
+        assert_eq!(irqs, 2);
+        // Finishes shortly after the slower MSI (~21 µs), instead of
+        // hanging on the dropped cookie-0 MSI.
+        assert!(units::to_ns(end) < 25_000.0, "second wait lost its MSI");
     }
 
     #[test]

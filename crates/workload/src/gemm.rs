@@ -60,9 +60,13 @@ impl GemmSpec {
         self
     }
 
-    /// Multiply–accumulate operations.
+    /// Multiply–accumulate operations. Saturates at `u64::MAX` for
+    /// synthetic shapes past 2^64 MACs (three `u32` maxima multiply to
+    /// ~2^96) instead of wrapping.
     pub fn macs(&self) -> u64 {
-        u64::from(self.m) * u64::from(self.n) * u64::from(self.k)
+        u64::from(self.m)
+            .saturating_mul(u64::from(self.n))
+            .saturating_mul(u64::from(self.k))
     }
 
     /// Bytes of A + B + C (the Table IV "memory footprint").

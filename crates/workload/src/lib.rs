@@ -10,11 +10,18 @@
 //!   into GEMM operators (offloaded to the accelerator) and Non-GEMM
 //!   operators (LayerNorm, Softmax, GELU, residual — run on the CPU),
 //!   the split behind the paper's Figs. 7–9.
+//! * [`graph`] — the task-graph IR: typed tasks with explicit dependency
+//!   edges and per-task device affinity, plus the lowerings from the
+//!   flat operator lists (chains, fork-join sharding, pipelined
+//!   multi-device inference, head-parallel attention, tenant mixes).
 
 mod bert;
 mod gemm;
+pub mod graph;
 mod vit;
 
 pub use bert::{bert_embed_ops, bert_ops, BertModel};
 pub use gemm::GemmSpec;
-pub use vit::{vit_embed_ops, vit_full_ops, vit_head_ops, vit_ops, Op, OpKind, VitModel};
+pub use vit::{
+    encoder_ops, vit_embed_ops, vit_full_ops, vit_head_ops, vit_ops, Op, OpKind, VitModel,
+};

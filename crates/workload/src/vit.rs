@@ -183,15 +183,23 @@ impl Op {
     }
 
     /// Total MACs of this op across its `count` instances (GEMM only).
+    ///
+    /// Saturates at `u64::MAX` instead of wrapping: synthetic mega-ops
+    /// (huge shapes × huge counts) stay "absurdly large" rather than
+    /// silently becoming small numbers.
     pub fn total_macs(&self) -> u64 {
         self.gemm
-            .map(|g| g.macs() * u64::from(self.count))
+            .map(|g| g.macs().saturating_mul(u64::from(self.count)))
             .unwrap_or(0)
     }
 
     /// Total bytes touched by Non-GEMM instances.
+    ///
+    /// Saturates at `u64::MAX` like [`Op::total_macs`].
     pub fn total_bytes(&self) -> u64 {
-        (self.read_bytes + self.write_bytes) * u64::from(self.count)
+        self.read_bytes
+            .saturating_add(self.write_bytes)
+            .saturating_mul(u64::from(self.count))
     }
 }
 
@@ -219,7 +227,13 @@ pub fn vit_ops(model: VitModel) -> Vec<Op> {
 
 /// The operators of one generic transformer encoder layer — the shared
 /// structure behind both ViT ([`vit_ops`]) and BERT
-/// ([`crate::bert_ops`]) workloads.
+/// ([`crate::bert_ops`]) workloads, public so graph lowerings and
+/// experiments can build scaled synthetic encoders (`hidden` must be a
+/// multiple of `heads`).
+pub fn encoder_ops(seq: u32, hidden: u32, heads: u32, mlp: u32) -> Vec<Op> {
+    encoder_layer_ops(seq, hidden, heads, mlp)
+}
+
 pub(crate) fn encoder_layer_ops(seq: u32, hidden: u32, heads: u32, mlp: u32) -> Vec<Op> {
     let s = u64::from(seq);
     let h = u64::from(hidden);
@@ -416,6 +430,27 @@ mod tests {
         assert_eq!(VitModel::Large.param_count() / 1_000_000, 304);
         let huge = VitModel::Huge.param_count() / 1_000_000;
         assert!((610..=650).contains(&huge), "huge {huge}M");
+    }
+
+    #[test]
+    fn op_totals_saturate_instead_of_wrapping() {
+        // A synthetic mega-op right at the u64 boundary: 2^32-row cube
+        // GEMM ≈ 2^96 MACs per instance — any multiply by count would
+        // wrap. The totals must clamp to u64::MAX, not wrap to a small
+        // (plausible-looking) number.
+        let huge = Op::gemm("mega", u32::MAX, u32::MAX, u32::MAX, u32::MAX);
+        assert_eq!(huge.total_macs(), u64::MAX);
+        // Exactly at the boundary: macs * count == u64::MAX stays exact…
+        let exact = Op {
+            gemm: Some(GemmSpec::new(1, 1, 1)),
+            ..Op::gemm("unit", 1, 1, 1, 1)
+        };
+        assert_eq!(exact.total_macs(), 1);
+        // …and one step past it saturates.
+        let bytes = Op::non_gemm("mega-bytes", OpKind::Softmax, u64::MAX, 1, 0, 1);
+        assert_eq!(bytes.total_bytes(), u64::MAX);
+        let count_wrap = Op::non_gemm("count-wrap", OpKind::Gelu, 1 << 62, 1 << 62, 0, 4);
+        assert_eq!(count_wrap.total_bytes(), u64::MAX);
     }
 
     #[test]
