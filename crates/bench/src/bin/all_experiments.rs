@@ -37,6 +37,7 @@ fn main() {
         ("cluster", accesys_bench::cluster::run_cli),
         ("topo", accesys_bench::topo::run_cli),
         ("graph", accesys_bench::graph::run_cli),
+        ("serve", accesys_bench::serve::run_cli),
         ("energy", accesys_bench::energy::run_cli),
     ];
     let start = Instant::now();

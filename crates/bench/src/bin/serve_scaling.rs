@@ -1,0 +1,12 @@
+//! Online-serving sweep: open-loop Poisson traffic through the
+//! continuous-batching engine, arrival rate × tree shape (extension).
+
+use accesys_bench::cli::{self, Cli};
+
+fn main() {
+    let cli = Cli::from_env("serve_scaling");
+    let value = accesys_bench::serve::run_cli(&cli);
+    if cli.json {
+        cli::emit_json(&value);
+    }
+}

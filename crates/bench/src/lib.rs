@@ -33,6 +33,7 @@ pub mod fig7;
 pub mod fig9;
 pub mod graph;
 pub mod scale;
+pub mod serve;
 pub mod table2;
 pub mod table3;
 pub mod table4;

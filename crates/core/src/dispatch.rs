@@ -58,7 +58,7 @@ use crate::system::Simulation;
 use crate::{RunError, RunReport, VitReport};
 use accesys_accel::AccelJob;
 use accesys_cpu::CpuOp;
-use accesys_sim::units;
+use accesys_sim::{units, Tick};
 use accesys_workload::graph::{Affinity, TaskGraph, TaskId, TaskKind};
 
 /// How the dispatcher scheduled one graph: compile-time facts, useful
@@ -92,6 +92,32 @@ pub(crate) struct CompiledGraph {
     pub program: Vec<CpuOp>,
     pub jobs: Vec<(usize, AccelJob)>,
     pub plan: DispatchPlan,
+}
+
+/// One timed dispatch: everything [`Simulation::run_graph_planned`]
+/// reports plus the absolute kernel ticks that anchor it on the shared
+/// simulation clock — the serving layer's admission points. The kernel
+/// clock is monotone across successive dispatches on the same
+/// [`Simulation`], so `start`/`end` of consecutive rounds tile the
+/// timeline and `completions` place individual requests inside it.
+#[derive(Clone, Debug)]
+pub struct GraphRun {
+    /// Phase/job/stat report, exactly as [`Simulation::run_graph`].
+    pub report: VitReport,
+    /// Compile-time scheduling shape.
+    pub plan: DispatchPlan,
+    /// Kernel tick at which the compiled program started.
+    pub start: Tick,
+    /// Kernel tick at which the last task retired (program end).
+    pub end: Tick,
+    /// `(label, tick)` for every completion-labeled task
+    /// ([`TaskGraph::set_completion`]), at the absolute tick the host
+    /// retired it — observed its MSI at a wait point, finished its
+    /// stream, or settled it as a barrier. Host retirement, not device
+    /// completion: a job whose MSI was latched while the CPU waited
+    /// elsewhere completes when the CPU reaches its wait point, which
+    /// is when a real driver would return the response.
+    pub completions: Vec<(String, Tick)>,
 }
 
 struct InFlight {
@@ -137,6 +163,17 @@ impl Simulation {
             ..DispatchPlan::default()
         };
         let deps_met = |done: &[bool], t: TaskId| graph.task(t).deps.iter().all(|&d| done[d]);
+        // Completion-labeled tasks get a `done:<label>` mark at the
+        // program position where the host retires them, so the mark
+        // timeline carries absolute completion ticks. Unlabeled graphs
+        // emit nothing — their programs stay byte-identical.
+        let mark_done = |program: &mut Vec<CpuOp>, t: TaskId| {
+            if let Some(label) = &graph.task(t).completion {
+                program.push(CpuOp::Mark {
+                    label: format!("done:{label}"),
+                });
+            }
+        };
 
         while done_count < n {
             // 1. Settle ready barriers to fixpoint (zero-cost joins).
@@ -151,6 +188,7 @@ impl Simulation {
                         done[t] = true;
                         done_count += 1;
                         plan.barriers += 1;
+                        mark_done(&mut program, t);
                         settled = true;
                     }
                 }
@@ -203,6 +241,8 @@ impl Simulation {
                 issued[t] = true;
                 done[t] = true;
                 done_count += 1;
+                // LaunchJob blocks until the MSI: retired right here.
+                mark_done(&mut program, t);
                 continue;
             }
 
@@ -302,6 +342,8 @@ impl Simulation {
                 write_cursor += wb;
                 done[t] = true;
                 done_count += 1;
+                // Stream ops block the CPU: retired when they return.
+                mark_done(&mut program, t);
                 advanced = true;
             }
             if advanced {
@@ -354,11 +396,19 @@ impl Simulation {
                 cookies: waiting.iter().map(|&i| in_flight[i].cookie).collect(),
             });
             plan.waits += 1;
+            let mut retired: Vec<TaskId> = Vec::with_capacity(waiting.len());
             for &i in waiting.iter().rev() {
                 let f = in_flight.remove(i);
                 busy[f.device] = false;
                 done[f.task] = true;
                 done_count += 1;
+                retired.push(f.task);
+            }
+            // The whole wait set retires at the WaitAll's return; marks
+            // go out in task-id order so the timeline is deterministic.
+            retired.sort_unstable();
+            for t in retired {
+                mark_done(&mut program, t);
             }
         }
 
@@ -368,6 +418,11 @@ impl Simulation {
                 cookies: in_flight.iter().map(|f| f.cookie).collect(),
             });
             plan.waits += 1;
+            let mut retired: Vec<TaskId> = in_flight.iter().map(|f| f.task).collect();
+            retired.sort_unstable();
+            for t in retired {
+                mark_done(&mut program, t);
+            }
         }
         Ok(CompiledGraph {
             program,
@@ -400,12 +455,26 @@ impl Simulation {
         &mut self,
         graph: &TaskGraph,
     ) -> Result<(VitReport, DispatchPlan), RunError> {
+        self.run_graph_timed(graph).map(|r| (r.report, r.plan))
+    }
+
+    /// [`Simulation::run_graph_planned`] plus the absolute kernel ticks
+    /// of the run and of every completion-labeled task
+    /// ([`TaskGraph::set_completion`]) — see [`GraphRun`]. The serving
+    /// layer uses this to place request completions on the shared
+    /// simulation clock across successive batching rounds.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_graph`].
+    pub fn run_graph_timed(&mut self, graph: &TaskGraph) -> Result<GraphRun, RunError> {
         let compiled = self.compile_graph(graph)?;
         self.commit_cookies(compiled.plan.launches);
         let before = self.record_marks();
         for (dev, job) in compiled.jobs {
             self.enqueue(job, dev);
         }
+        let start = self.kernel().now();
         let (elapsed, marks) = self.run_program(compiled.program)?;
         let mut phases = Vec::new();
         for pair in marks.windows(2) {
@@ -413,15 +482,22 @@ impl Simulation {
             let t1 = pair[1].1;
             phases.push((label.clone(), units::to_ns(t1 - t0)));
         }
-        Ok((
-            VitReport {
+        let completions = marks
+            .iter()
+            .filter_map(|(label, tick)| label.strip_prefix("done:").map(|l| (l.to_string(), *tick)))
+            .collect();
+        Ok(GraphRun {
+            report: VitReport {
                 total_ticks: elapsed,
                 phases,
                 jobs: self.records_since(&before),
                 stats: self.stats(),
             },
-            compiled.plan,
-        ))
+            plan: compiled.plan,
+            start,
+            end: start + elapsed,
+            completions,
+        })
     }
 
     /// Execute `graph` and report as a [`RunReport`] (GEMM-shaped
@@ -757,6 +833,99 @@ mod tests {
         assert!(report.total_time_ns() > 0.0);
         assert!(report.stats.get_or_zero("accel0.jobs_done") >= 1.0);
         assert!(report.stats.get_or_zero("accel1.jobs_done") >= 1.0);
+    }
+
+    #[test]
+    fn completion_marks_place_tasks_on_the_kernel_clock() {
+        // A fork of two pinned GEMMs and a labeled barrier: the labeled
+        // tasks' completion ticks must land inside the run's [start, end]
+        // window, in dependency order, and the unlabeled graph's program
+        // must stay mark-free (byte-identical contract).
+        let mut sim = tree_sim(&[2]);
+        let mut g = TaskGraph::new();
+        let a = g.add(
+            "a",
+            TaskKind::Gemm(GemmSpec::square(64)),
+            Affinity::Pinned(0),
+            vec![],
+        );
+        let b = g.add(
+            "b",
+            TaskKind::Gemm(GemmSpec::square(64)),
+            Affinity::Pinned(1),
+            vec![],
+        );
+        let bar = g.add("join", TaskKind::Barrier, Affinity::AnyAccel, vec![a, b]);
+        g.set_completion(a, "req0");
+        g.set_completion(b, "req1");
+        g.set_completion(bar, "round");
+        let run = sim.run_graph_timed(&g).unwrap();
+        assert_eq!(run.completions.len(), 3);
+        let tick_of = |label: &str| {
+            run.completions
+                .iter()
+                .find(|(l, _)| l == label)
+                .unwrap_or_else(|| panic!("completion {label} recorded"))
+                .1
+        };
+        for (_, t) in &run.completions {
+            assert!(run.start <= *t && *t <= run.end);
+        }
+        // The barrier settles when both forks are retired.
+        assert!(tick_of("round") >= tick_of("req0").max(tick_of("req1")));
+        // Unlabeled: no done: marks anywhere in the compiled program.
+        let mut unlabeled = tree_sim(&[2]);
+        let mut g2 = TaskGraph::new();
+        g2.add(
+            "a",
+            TaskKind::Gemm(GemmSpec::square(64)),
+            Affinity::Pinned(0),
+            vec![],
+        );
+        let run2 = unlabeled.run_graph_timed(&g2).unwrap();
+        assert!(run2.completions.is_empty());
+        assert!(run2
+            .report
+            .phases
+            .iter()
+            .all(|(label, _)| !label.starts_with("done:")));
+    }
+
+    #[test]
+    fn completion_marks_ride_the_sync_fast_path_too() {
+        // A pure chain takes the blocking LaunchJob path; a labeled tail
+        // still reports its retirement tick (== run end here).
+        let mut sim = Simulation::new(SystemConfig::paper_baseline()).unwrap();
+        let ops = encoder_ops(64, 128, 4, 512);
+        let mut g = op_chain(&ops);
+        let tail = g.len() - 1;
+        g.set_completion(tail, "req0");
+        let run = sim.run_graph_timed(&g).unwrap();
+        assert_eq!(run.completions.len(), 1);
+        assert_eq!(run.completions[0].0, "req0");
+        assert_eq!(run.completions[0].1, run.end);
+    }
+
+    #[test]
+    fn kernel_clock_is_monotone_across_rounds() {
+        // Successive dispatches on one simulation tile the timeline —
+        // the property the serving layer's arrival clock builds on.
+        let mut sim = tree_sim(&[2]);
+        let mut last_end = 0;
+        for i in 0..3 {
+            let mut g = TaskGraph::new();
+            let t = g.add(
+                format!("r{i}"),
+                TaskKind::Gemm(GemmSpec::square(64)),
+                Affinity::AnyAccel,
+                vec![],
+            );
+            g.set_completion(t, format!("req{i}"));
+            let run = sim.run_graph_timed(&g).unwrap();
+            assert!(run.start >= last_end);
+            assert!(run.end > run.start);
+            last_end = run.end;
+        }
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Per-tenant batching policies: who gets the next free batch slot.
+//!
+//! When the engine has a free slot in the continuous batch it asks the
+//! policy to pick one waiting request out of the admission queue. All
+//! three policies are deterministic functions of the queue contents,
+//! their own state, and the per-tenant admission counters — nothing
+//! else — so a served trace replays byte-identically.
+
+use crate::queue::AdmissionQueue;
+
+/// A batching policy. Generalizes the PR 5 `two_tenant_mix` (which
+/// interleaved exactly two fixed chains) into pluggable per-tenant
+/// scheduling over an open-ended request stream.
+///
+/// ```
+/// use accesys_serve::policy::Policy;
+/// use accesys_serve::queue::{AdmissionQueue, Queued};
+///
+/// // Tenant 1 has two requests waiting, tenant 0 has one.
+/// let mut q = AdmissionQueue::new(8);
+/// q.offer(Queued { id: 0, tenant: 1, arrival_ns: 0 }).unwrap();
+/// q.offer(Queued { id: 1, tenant: 1, arrival_ns: 1 }).unwrap();
+/// q.offer(Queued { id: 2, tenant: 0, arrival_ns: 2 }).unwrap();
+///
+/// // FIFO ignores tenants: oldest first.
+/// assert_eq!(Policy::Fifo.pick(&q, &[0, 0]), Some(0));
+///
+/// // Round-robin cycles tenants: 0, then 1, then 0 again…
+/// let mut rr = Policy::round_robin();
+/// assert_eq!(rr.pick(&q, &[0, 0]), Some(2)); // tenant 0's request
+/// let mut q2 = q.clone();
+/// q2.take_at(2);
+/// assert_eq!(rr.pick(&q2, &[1, 0]), Some(0)); // now tenant 1's oldest
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Strict arrival order, tenants ignored.
+    Fifo,
+    /// Cycle through tenants: each free slot goes to the next tenant
+    /// (after the last one served) that has something waiting; within a
+    /// tenant, oldest first. `cursor` is the tenant to try first.
+    RoundRobin {
+        /// Next tenant to offer a slot to.
+        cursor: u32,
+    },
+    /// Weighted fair share: the slot goes to the tenant with the
+    /// smallest `admitted / weight` ratio among tenants with waiting
+    /// requests (ties to the lower tenant id); within a tenant, oldest
+    /// first. Tenants beyond the weight vector weigh 1.
+    WeightedShare {
+        /// Per-tenant weights (≥ 1; zeros are clamped to 1).
+        weights: Vec<u32>,
+    },
+}
+
+impl Policy {
+    /// A fresh round-robin policy starting at tenant 0.
+    pub fn round_robin() -> Policy {
+        Policy::RoundRobin { cursor: 0 }
+    }
+
+    /// A weighted-share policy with the given per-tenant weights.
+    pub fn weighted_share(weights: &[u32]) -> Policy {
+        Policy::WeightedShare {
+            weights: weights.to_vec(),
+        }
+    }
+
+    /// Pick the queue index (0 = oldest) of the request to admit into
+    /// the next free batch slot, or `None` when the queue is empty.
+    /// `admitted_by_tenant[t]` counts requests of tenant `t` admitted
+    /// so far (used by [`Policy::WeightedShare`]; shorter-than-needed
+    /// slices count as 0).
+    pub fn pick(&mut self, queue: &AdmissionQueue, admitted_by_tenant: &[u64]) -> Option<usize> {
+        if queue.is_empty() {
+            return None;
+        }
+        match self {
+            Policy::Fifo => Some(0),
+            Policy::RoundRobin { cursor } => {
+                // Tenants present in the queue, as a sorted dense set.
+                let mut present: Vec<u32> = queue.iter().map(|q| q.tenant).collect();
+                present.sort_unstable();
+                present.dedup();
+                // First present tenant ≥ cursor, wrapping.
+                let tenant = present
+                    .iter()
+                    .copied()
+                    .find(|&t| t >= *cursor)
+                    .unwrap_or(present[0]);
+                *cursor = tenant + 1;
+                oldest_of(queue, tenant)
+            }
+            Policy::WeightedShare { weights } => {
+                let weight_of = |t: u32| -> u128 {
+                    u128::from(weights.get(t as usize).copied().unwrap_or(1).max(1))
+                };
+                let admitted_of = |t: u32| -> u128 {
+                    u128::from(admitted_by_tenant.get(t as usize).copied().unwrap_or(0))
+                };
+                let mut present: Vec<u32> = queue.iter().map(|q| q.tenant).collect();
+                present.sort_unstable();
+                present.dedup();
+                // Smallest admitted/weight; compare cross-multiplied to
+                // stay in integers (ties: lower tenant id wins because
+                // `present` is sorted and `<` is strict).
+                let mut best = present[0];
+                for &t in &present[1..] {
+                    if admitted_of(t) * weight_of(best) < admitted_of(best) * weight_of(t) {
+                        best = t;
+                    }
+                }
+                oldest_of(queue, best)
+            }
+        }
+    }
+}
+
+/// Queue index of `tenant`'s oldest waiting request.
+fn oldest_of(queue: &AdmissionQueue, tenant: u32) -> Option<usize> {
+    queue.iter().position(|q| q.tenant == tenant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Queued;
+
+    fn queue_of(tenants: &[u32]) -> AdmissionQueue {
+        let mut q = AdmissionQueue::new(64);
+        for (i, &t) in tenants.iter().enumerate() {
+            q.offer(Queued {
+                id: i as u64,
+                tenant: t,
+                arrival_ns: i as u64,
+            })
+            .unwrap();
+        }
+        q
+    }
+
+    #[test]
+    fn fifo_takes_the_head() {
+        let q = queue_of(&[2, 0, 1]);
+        assert_eq!(Policy::Fifo.pick(&q, &[]), Some(0));
+    }
+
+    #[test]
+    fn empty_queue_picks_nothing() {
+        let q = queue_of(&[]);
+        assert_eq!(Policy::Fifo.pick(&q, &[]), None);
+        assert_eq!(Policy::round_robin().pick(&q, &[]), None);
+        assert_eq!(Policy::weighted_share(&[1, 2]).pick(&q, &[]), None);
+    }
+
+    #[test]
+    fn round_robin_cycles_present_tenants() {
+        // Queue: t0, t0, t1, t2 — RR must serve 0, 1, 2, 0.
+        let mut q = queue_of(&[0, 0, 1, 2]);
+        let mut rr = Policy::round_robin();
+        let mut served = Vec::new();
+        let admitted = [0u64; 3];
+        while let Some(i) = rr.pick(&q, &admitted) {
+            served.push(q.take_at(i).tenant);
+        }
+        assert_eq!(served, vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn round_robin_skips_absent_tenants() {
+        // Cursor at 1 but only tenant 3 is waiting: serve 3, wrap to 4.
+        let q = queue_of(&[3, 3]);
+        let mut rr = Policy::RoundRobin { cursor: 1 };
+        assert_eq!(rr.pick(&q, &[]), Some(0));
+        assert_eq!(rr, Policy::RoundRobin { cursor: 4 });
+    }
+
+    #[test]
+    fn weighted_share_follows_the_ratio() {
+        // Weights 3:1 — over 4 slots tenant 0 gets 3, tenant 1 gets 1.
+        let mut q = queue_of(&[0, 0, 0, 1, 1, 1]);
+        let mut ws = Policy::weighted_share(&[3, 1]);
+        let mut admitted = vec![0u64; 2];
+        let mut served = Vec::new();
+        for _ in 0..4 {
+            let i = ws.pick(&q, &admitted).unwrap();
+            let t = q.take_at(i).tenant;
+            admitted[t as usize] += 1;
+            served.push(t);
+        }
+        assert_eq!(served.iter().filter(|&&t| t == 0).count(), 3);
+        assert_eq!(served.iter().filter(|&&t| t == 1).count(), 1);
+    }
+
+    #[test]
+    fn weighted_share_clamps_zero_weights() {
+        // A zero weight must not divide-by-zero or starve forever once
+        // it is the only tenant waiting.
+        let q = queue_of(&[1]);
+        let mut ws = Policy::weighted_share(&[4, 0]);
+        assert_eq!(ws.pick(&q, &[10, 10]), Some(0));
+    }
+}

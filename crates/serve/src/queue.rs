@@ -1,0 +1,191 @@
+//! The bounded admission queue between the arrival process and the
+//! batching engine.
+//!
+//! Admission is where an open-loop system sheds load: arrivals beyond
+//! the bound are *rejected* — a typed, counted outcome, never a panic
+//! and never unbounded memory. Rejected requests are the difference
+//! between offered load and goodput once the system saturates.
+
+use std::collections::VecDeque;
+
+/// A request sitting in the admission queue, waiting to be batched.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Queued {
+    /// Dense request id (assigned at arrival, in arrival order).
+    pub id: u64,
+    /// Tenant the request belongs to.
+    pub tenant: u32,
+    /// Arrival time on the serving clock, virtual nanoseconds.
+    pub arrival_ns: u64,
+}
+
+/// A request turned away at admission: the queue was at its bound.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Rejected {
+    /// The request that was turned away.
+    pub request: Queued,
+    /// The bound it hit.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "request {} (tenant {}) rejected: admission queue at capacity {}",
+            self.request.id, self.request.tenant, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// A FIFO admission queue with a hard bound and rejection counters.
+///
+/// ```
+/// use accesys_serve::queue::{AdmissionQueue, Queued};
+///
+/// let mut q = AdmissionQueue::new(1);
+/// let r0 = Queued { id: 0, tenant: 0, arrival_ns: 0 };
+/// let r1 = Queued { id: 1, tenant: 1, arrival_ns: 5 };
+/// assert!(q.offer(r0).is_ok());
+/// let err = q.offer(r1).unwrap_err(); // full: typed rejection, no panic
+/// assert_eq!(err.request.id, 1);
+/// assert_eq!(q.rejected(), 1);
+/// assert_eq!(q.take_at(0), r0);
+/// assert!(q.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct AdmissionQueue {
+    items: VecDeque<Queued>,
+    capacity: usize,
+    rejected: u64,
+    rejected_by_tenant: Vec<u64>,
+}
+
+impl AdmissionQueue {
+    /// An empty queue admitting at most `capacity` waiting requests
+    /// (`capacity` is clamped to ≥ 1).
+    pub fn new(capacity: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            items: VecDeque::new(),
+            capacity: capacity.max(1),
+            rejected: 0,
+            rejected_by_tenant: Vec::new(),
+        }
+    }
+
+    /// Waiting requests.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total requests rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Requests rejected per tenant (indexed by tenant id; tenants past
+    /// the end have rejected none).
+    pub fn rejected_by_tenant(&self) -> &[u64] {
+        &self.rejected_by_tenant
+    }
+
+    /// Offer a request: enqueued in FIFO position, or — when the queue
+    /// is at its bound — counted and returned as a typed [`Rejected`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejected`] when the queue is full; the queue itself is
+    /// unchanged.
+    pub fn offer(&mut self, request: Queued) -> Result<(), Rejected> {
+        if self.items.len() >= self.capacity {
+            self.rejected += 1;
+            let t = request.tenant as usize;
+            if self.rejected_by_tenant.len() <= t {
+                self.rejected_by_tenant.resize(t + 1, 0);
+            }
+            self.rejected_by_tenant[t] += 1;
+            return Err(Rejected {
+                request,
+                capacity: self.capacity,
+            });
+        }
+        self.items.push_back(request);
+        Ok(())
+    }
+
+    /// The waiting requests in FIFO order (index 0 is the oldest).
+    pub fn iter(&self) -> impl Iterator<Item = &Queued> {
+        self.items.iter()
+    }
+
+    /// Remove and return the request at `index` (0 = oldest). Policies
+    /// pick the index; the queue just keeps order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn take_at(&mut self, index: usize) -> Queued {
+        self.items
+            .remove(index)
+            .expect("policy picked an in-range queue index")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(id: u64, tenant: u32) -> Queued {
+        Queued {
+            id,
+            tenant,
+            arrival_ns: id * 10,
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_kept() {
+        let mut queue = AdmissionQueue::new(8);
+        for i in 0..4 {
+            queue.offer(q(i, 0)).unwrap();
+        }
+        assert_eq!(queue.take_at(0).id, 0);
+        assert_eq!(queue.take_at(1).id, 2); // 1 stays, 2 removed
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn bursts_past_the_bound_reject_typed_and_counted() {
+        let mut queue = AdmissionQueue::new(2);
+        assert!(queue.offer(q(0, 0)).is_ok());
+        assert!(queue.offer(q(1, 1)).is_ok());
+        // A 3-request burst over a 2-slot bound: the tail is rejected.
+        let err = queue.offer(q(2, 1)).unwrap_err();
+        assert_eq!(err.capacity, 2);
+        assert_eq!(err.request.id, 2);
+        assert_eq!(queue.rejected(), 1);
+        assert_eq!(queue.rejected_by_tenant(), &[0, 1]);
+        // The queue is intact.
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.take_at(0).id, 0);
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let mut queue = AdmissionQueue::new(0);
+        assert!(queue.offer(q(0, 0)).is_ok());
+        assert!(queue.offer(q(1, 0)).is_err());
+    }
+}

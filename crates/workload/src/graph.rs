@@ -87,6 +87,13 @@ pub struct TaskSpec {
     pub affinity: Affinity,
     /// Tasks that must complete before this one may issue.
     pub deps: Vec<TaskId>,
+    /// Completion label: when set, the dispatcher records a
+    /// `done:<label>` mark at the tick the host retires this task, so
+    /// callers (the serving layer's per-request latency tracking) can
+    /// read an absolute completion time off the mark timeline. `None`
+    /// (the default) emits nothing and keeps the compiled program
+    /// byte-identical to pre-label builds.
+    pub completion: Option<String>,
 }
 
 /// A structural error in a [`TaskGraph`].
@@ -212,8 +219,22 @@ impl TaskGraph {
             kind,
             affinity,
             deps,
+            completion: None,
         });
         self.tasks.len() - 1
+    }
+
+    /// Label `task` as a completion point: the dispatcher will record a
+    /// `done:<label>` mark at the tick the host retires it (observes
+    /// its MSI, finishes its stream, or settles it as a barrier). The
+    /// serving layer labels each request's tail task this way to track
+    /// per-request latency from arrival tick to completion tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn set_completion(&mut self, task: TaskId, label: impl Into<String>) {
+        self.tasks[task].completion = Some(label.into());
     }
 
     /// Add a dependency edge after the fact (enables forward edges while
@@ -347,6 +368,42 @@ fn push_op_chain(
         }
     }
     prev
+}
+
+/// Append `ops` to an existing graph as a chain continuing from `prev`
+/// (or as fresh roots when `prev` is `None`), with every GEMM given
+/// `gemm_affinity` and every task name prefixed `"{prefix}."`. Returns
+/// the id of the chain's tail task (`prev` unchanged when `ops` is
+/// empty).
+///
+/// This is the lowering the serving layer batches with: each in-flight
+/// request contributes one slice chain to a shared round graph, and the
+/// batch joins at a barrier. It composes — chains appended to the same
+/// graph are independent until something joins them.
+///
+/// ```
+/// use accesys_workload::encoder_ops;
+/// use accesys_workload::graph::{append_chain, Affinity, TaskGraph, TaskKind};
+///
+/// let ops = encoder_ops(64, 128, 4, 512);
+/// let mut g = TaskGraph::new();
+/// let a = append_chain(&mut g, &ops, Affinity::AnyAccel, None, "r0");
+/// let b = append_chain(&mut g, &ops, Affinity::AnyAccel, None, "r1");
+/// let tails = vec![a.unwrap(), b.unwrap()];
+/// g.add("round", TaskKind::Barrier, Affinity::AnyAccel, tails);
+/// assert!(g.validate(1).is_ok());
+/// assert!(g.task(0).name.starts_with("r0."));
+/// ```
+pub fn append_chain(
+    g: &mut TaskGraph,
+    ops: &[Op],
+    gemm_affinity: Affinity,
+    prev: Option<TaskId>,
+    prefix: &str,
+) -> Option<TaskId> {
+    push_op_chain(g, ops, gemm_affinity, prev, |op| {
+        format!("{prefix}.{}", op.name)
+    })
 }
 
 /// Lower a flat operator list to a **chain** graph: one task per GEMM

@@ -14,6 +14,7 @@
 //!   edges and per-task device affinity, plus the lowerings from the
 //!   flat operator lists (chains, fork-join sharding, pipelined
 //!   multi-device inference, head-parallel attention, tenant mixes).
+#![warn(missing_docs)]
 
 mod bert;
 mod gemm;
