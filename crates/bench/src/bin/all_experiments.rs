@@ -38,6 +38,7 @@ fn main() {
         ("topo", accesys_bench::topo::run_cli),
         ("graph", accesys_bench::graph::run_cli),
         ("serve", accesys_bench::serve::run_cli),
+        ("decode", accesys_bench::decode::run_cli),
         ("energy", accesys_bench::energy::run_cli),
     ];
     let start = Instant::now();

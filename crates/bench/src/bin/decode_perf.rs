@@ -1,0 +1,172 @@
+//! Decode performance harness: drives the prefill/decode serving
+//! engine at its saturation point and records the bench trajectory
+//! (`BENCH_decode.json`, via `--json` + redirect in CI) — the
+//! autoregressive sibling of `serve_perf`.
+//!
+//! One measurement, three numbers that matter:
+//!
+//! * **decode throughput** — the top swept arrival rate on the
+//!   four-leaf tree served end to end; reported as decode tokens
+//!   generated per wall-clock second (how fast the engine simulates
+//!   batched decode).
+//! * **goodput gain** — within-SLO goodput of mixed prefill/decode
+//!   continuous batching over the same trace served one request at a
+//!   time. The acceptance bar (≥ 2.0) makes a batching regression a
+//!   build failure, not an archived number.
+//! * **KV pressure** — the same point under the tight budget must show
+//!   eviction `Transfer` traffic (> 0), so the capacity-pressure path
+//!   can't silently stop firing.
+//!
+//! Flags: `--json` (machine-readable report on stdout), `--jobs`/`--full`
+//! accepted for CLI uniformity but ignored (single-point measurement).
+
+use accesys_bench::cli::Cli;
+use accesys_bench::{decode, Scale};
+use std::time::Instant;
+
+const REPS: usize = 3;
+
+/// The bench-trajectory record emitted as `BENCH_decode.json`.
+#[derive(Debug, serde::Serialize)]
+struct DecodePerfReport {
+    /// Offered arrival rate at the measured point, req/s (virtual).
+    rate_rps: f64,
+    /// Tree shape of the measured point.
+    shape: String,
+    /// Arrivals offered over the horizon.
+    offered: u64,
+    /// Requests admitted (batched run; a determinism canary).
+    admitted: u64,
+    /// Batching rounds executed (determinism canary).
+    rounds: u64,
+    /// Rounds mixing prefill and decode slices.
+    mixed_rounds: u64,
+    /// Peak requests in flight.
+    peak_batch: usize,
+    /// Decode tokens generated (batched run).
+    tokens: u64,
+    /// Decode tokens per virtual second of serving.
+    decode_tps: f64,
+    /// Median arrival→EOS latency, virtual ns.
+    p50_ns: f64,
+    /// Median time-to-first-token, virtual ns.
+    ttft_p50_ns: f64,
+    /// Within-SLO goodput of the batched serve, virtual req/s.
+    goodput_rps: f64,
+    /// Within-SLO goodput of one-at-a-time dispatch, virtual req/s.
+    sequential_goodput_rps: f64,
+    /// `goodput_rps / sequential_goodput_rps` — the acceptance bar
+    /// is ≥ 2.0.
+    goodput_gain: f64,
+    /// KV evictions at the tight-budget sibling point (must be > 0).
+    tight_kv_evictions: u64,
+    /// KV bytes offloaded at the tight-budget sibling point.
+    tight_kv_evicted_bytes: u64,
+    /// Decode tokens generated per wall-clock second (best of reps).
+    tokens_per_wallsec: f64,
+    /// Wall-clock of the best rep, milliseconds.
+    wall_ms: f64,
+}
+
+fn main() {
+    let cli = Cli::from_env("decode_perf");
+
+    let rate = decode::rates(Scale::Quick)[2];
+    let shape = "2x2";
+    eprintln!("# decode_perf: {rate} req/s on a {shape} tree ({REPS} reps)...");
+    let mut best_tps = 0.0f64;
+    let mut wall_ms = 0.0;
+    let mut row = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let r = decode::measure(rate, shape, "ample", Scale::Quick);
+        let secs = start.elapsed().as_secs_f64();
+        let tps = r.tokens as f64 / secs;
+        if tps > best_tps {
+            best_tps = tps;
+            wall_ms = secs * 1e3;
+            row = Some(r);
+        }
+    }
+    let row = row.expect("at least one rep ran");
+    // The pressure canary: the same point under the tight budget must
+    // surface eviction traffic.
+    let tight = decode::measure(rate, shape, "tight", Scale::Quick);
+
+    let report = DecodePerfReport {
+        rate_rps: row.rate_rps,
+        shape: row.shape.clone(),
+        offered: row.offered,
+        admitted: row.admitted,
+        rounds: row.rounds,
+        mixed_rounds: row.mixed_rounds,
+        peak_batch: row.peak_batch,
+        tokens: row.tokens,
+        decode_tps: row.decode_tps,
+        p50_ns: row.p50_ns,
+        ttft_p50_ns: row.ttft_p50_ns,
+        goodput_rps: row.goodput_rps,
+        sequential_goodput_rps: row.sequential_goodput_rps,
+        goodput_gain: row.goodput_gain,
+        tight_kv_evictions: tight.kv_evictions,
+        tight_kv_evicted_bytes: tight.kv_evicted_bytes,
+        tokens_per_wallsec: best_tps,
+        wall_ms,
+    };
+
+    if cli.json {
+        accesys_bench::cli::emit_json(&serde::Serialize::to_value(&report));
+    } else {
+        println!("# decode perf harness (batched decode at saturation)");
+        println!("{:<34} {:>14.0}", "offered rate (req/s)", report.rate_rps);
+        println!("{:<34} {:>14}", "tree shape", report.shape);
+        println!("{:<34} {:>14}", "offered", report.offered);
+        println!("{:<34} {:>14}", "admitted", report.admitted);
+        println!("{:<34} {:>14}", "rounds", report.rounds);
+        println!("{:<34} {:>14}", "mixed rounds", report.mixed_rounds);
+        println!("{:<34} {:>14}", "peak batch", report.peak_batch);
+        println!("{:<34} {:>14}", "decode tokens", report.tokens);
+        println!(
+            "{:<34} {:>14.0}",
+            "decode tok/s (virtual)", report.decode_tps
+        );
+        println!("{:<34} {:>14.0}", "p50 (µs)", report.p50_ns / 1e3);
+        println!("{:<34} {:>14.0}", "ttft p50 (µs)", report.ttft_p50_ns / 1e3);
+        println!("{:<34} {:>14.1}", "goodput (req/s)", report.goodput_rps);
+        println!(
+            "{:<34} {:>14.1}",
+            "sequential goodput (req/s)", report.sequential_goodput_rps
+        );
+        println!("{:<34} {:>14.2}", "goodput gain", report.goodput_gain);
+        println!(
+            "{:<34} {:>14}",
+            "tight-budget evictions", report.tight_kv_evictions
+        );
+        println!(
+            "{:<34} {:>14}",
+            "tight-budget evicted bytes", report.tight_kv_evicted_bytes
+        );
+        println!(
+            "{:<34} {:>14.0}",
+            "tokens / wall-sec", report.tokens_per_wallsec
+        );
+        println!("{:<34} {:>14.1}", "wall ms", report.wall_ms);
+    }
+
+    // Batched decode that stops doubling one-at-a-time goodput at
+    // saturation is a serving regression: fail the build, don't
+    // archive it. Same for a tight budget that stops evicting — that
+    // means the capacity-pressure path went dead.
+    const GAIN_BAR: f64 = 2.0;
+    if report.goodput_gain < GAIN_BAR {
+        eprintln!(
+            "decode_perf: goodput gain {:.2}x fell below the {GAIN_BAR}x bar",
+            report.goodput_gain
+        );
+        std::process::exit(1);
+    }
+    if report.tight_kv_evictions == 0 {
+        eprintln!("decode_perf: tight KV budget produced no evictions");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Batched-decode sweep: open-loop LLM traffic through the
+//! prefill/decode serving engine, arrival rate × tree shape × KV
+//! budget (extension).
+
+use accesys_bench::cli::{self, Cli};
+
+fn main() {
+    let cli = Cli::from_env("decode_scaling");
+    let value = accesys_bench::decode::run_cli(&cli);
+    if cli.json {
+        cli::emit_json(&value);
+    }
+}

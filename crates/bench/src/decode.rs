@@ -1,0 +1,367 @@
+//! Extension experiment — batched autoregressive decode: open-loop LLM
+//! traffic through the prefill/decode serving engine, across arrival
+//! rates, tree shapes and KV budgets.
+//!
+//! Decode is the serving regime the paper's interconnect questions bite
+//! hardest in: every round is a batch of skinny memory-bound GEMMs,
+//! and the working set that decides who runs where is the KV cache
+//! growing in each leaf's `devmem` slice. Each point serves the same
+//! seeded Poisson trace twice on the same tree:
+//!
+//! * **batched** — continuous batching up to `2 × endpoints` requests
+//!   in flight: prefills fold in at round barriers next to the veterans'
+//!   decode slices.
+//! * **sequential** — the same engine clamped to one request in flight:
+//!   prefill, decode to EOS, only then look at the queue again.
+//!
+//! The third axis is the per-device KV budget: **ample** (slices never
+//! fill) vs **tight** (1.5 requests' worth — concurrent decoders must
+//! evict each other, and the pressure shows up as host-memory
+//! `Transfer` traffic in the row). The `decode_perf` bin turns the
+//! saturation goodput ratio into a CI bar.
+
+use crate::cli::Cli;
+use crate::topo::parse_shape;
+use crate::Scale;
+use accesys::topology::{switch_tree_with, EndpointOptions};
+use accesys::{MemBackendConfig, Simulation, SystemConfig};
+use accesys_exp::{Experiment, Grid, Jobs};
+use accesys_mem::MemTech;
+use accesys_serve::{
+    serve_llm, ArrivalSpec, LlmRequestShape, LlmServeConfig, LlmServeReport, Policy,
+};
+use accesys_workload::llm::LlmSpec;
+
+/// Tree shapes swept: one leaf (no batching headroom) to four.
+pub const SHAPES: [&str; 3] = ["1", "2", "2x2"];
+
+/// KV-budget regimes swept: `ample` never fills a slice, `tight` holds
+/// 1.5 requests' worth so concurrent decoders thrash.
+pub const BUDGETS: [&str; 2] = ["ample", "tight"];
+
+/// Arrival-trace seed: every point serves the same seeded traffic.
+pub const SEED: u64 = 0xDEC0DE;
+
+/// Offered arrival rates swept, requests per second: below every
+/// shape's saturation, past the one-leaf knee, and past it everywhere.
+pub fn rates(_scale: Scale) -> [f64; 3] {
+    [50.0, 200.0, 2000.0]
+}
+
+/// Trace horizon in virtual nanoseconds.
+pub fn horizon_ns(scale: Scale) -> u64 {
+    scale.pick(50_000_000, 250_000_000)
+}
+
+/// The request every client sends: a tiny two-layer autoregressive
+/// model, 12-token prompt, 6 generated tokens — 7 rounds per request,
+/// compute-dominated so serving stresses the scheduler and the KV
+/// model, not streaming bandwidth.
+pub fn request_shape(_scale: Scale) -> LlmRequestShape {
+    LlmRequestShape {
+        spec: LlmSpec::tiny(),
+        prompt: 12,
+        decode: 6,
+    }
+}
+
+/// The per-device KV budget of a named regime, in bytes.
+pub fn kv_budget(budget: &str, shape: &LlmRequestShape) -> u64 {
+    match budget {
+        // Never fills: dozens of requests fit a slice.
+        "ample" => 1 << 20,
+        // 1.5 requests' worth: any two concurrent decoders must evict
+        // each other (capacity pressure by construction).
+        "tight" => shape.max_kv_bytes() * 3 / 2,
+        other => panic!("unknown KV budget regime {other:?}"),
+    }
+}
+
+/// Latency SLO (arrival → EOS): completions slower than this do not
+/// count as goodput.
+pub fn slo_ns(_scale: Scale) -> f64 {
+    50e6
+}
+
+/// One decode-serving measurement: one arrival rate on one tree shape
+/// under one KV budget.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct DecodeRow {
+    /// Offered arrival rate, requests per second.
+    pub rate_rps: f64,
+    /// Tree shape (per-level fan-outs, `x`-separated).
+    pub shape: String,
+    /// KV budget regime (`ample` or `tight`).
+    pub budget: String,
+    /// Leaf endpoints (= devices KV homes spread over).
+    pub endpoints: u32,
+    /// Per-device KV budget, bytes.
+    pub kv_budget: u64,
+    /// Arrivals offered over the horizon.
+    pub offered: u64,
+    /// Requests admitted (batched run).
+    pub admitted: u64,
+    /// Requests rejected at the admission bound (batched run).
+    pub rejected: u64,
+    /// Batching rounds executed (batched run).
+    pub rounds: u64,
+    /// Rounds mixing prefill and decode slices (batched run).
+    pub mixed_rounds: u64,
+    /// Peak requests in flight (batched run).
+    pub peak_batch: usize,
+    /// Decode tokens generated (batched run).
+    pub tokens: u64,
+    /// Decode tokens per second of serving time (batched run).
+    pub decode_tps: f64,
+    /// Median arrival→EOS latency, ns (batched run).
+    pub p50_ns: f64,
+    /// 99th-percentile arrival→EOS latency, ns (batched run).
+    pub p99_ns: f64,
+    /// Median time-to-first-token, ns (batched run).
+    pub ttft_p50_ns: f64,
+    /// KV evictions forced by the budget (batched run).
+    pub kv_evictions: u64,
+    /// KV bytes offloaded to host memory (batched run).
+    pub kv_evicted_bytes: u64,
+    /// KV eviction/restore `Transfer` tasks added to round graphs.
+    pub kv_transfer_tasks: u64,
+    /// Within-SLO completions per second, batched.
+    pub goodput_rps: f64,
+    /// Within-SLO completions per second, one-request-at-a-time.
+    pub sequential_goodput_rps: f64,
+    /// `goodput_rps / sequential_goodput_rps` — the continuous-batching
+    /// win (1.0 when both serve everything, i.e. below saturation).
+    pub goodput_gain: f64,
+}
+
+/// The serving testbed: the [`crate::serve`] tree (per-leaf local
+/// memory), but with a 10× faster per-op compute override — decode
+/// requests run 7 rounds of skinny GEMMs, so per-request service has
+/// to stay well under the trace horizon for the open-loop regimes to
+/// separate cleanly.
+fn tree_sim(levels: &[u32]) -> Simulation {
+    let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4).with_compute_override_ns(5_000.0);
+    cfg.smmu = None;
+    let spec = switch_tree_with(&cfg, levels, |_| EndpointOptions {
+        accel: None,
+        dev_mem: Some(MemBackendConfig::Dram(MemTech::Hbm2)),
+    })
+    .expect("swept shapes are valid");
+    Simulation::from_topology(cfg, &spec).expect("valid topology")
+}
+
+/// Serve the point's trace once at `batch_cap` requests in flight.
+fn serve_once(
+    rate: f64,
+    levels: &[u32],
+    batch_cap: usize,
+    budget_bytes: u64,
+    scale: Scale,
+) -> LlmServeReport {
+    let arrivals = ArrivalSpec::poisson(rate, 2, SEED).generate(horizon_ns(scale));
+    let mut sim = tree_sim(levels);
+    serve_llm(
+        &mut sim,
+        &request_shape(scale),
+        &arrivals,
+        &Policy::round_robin(),
+        &LlmServeConfig::new(batch_cap, 32, budget_bytes).with_slo_ns(slo_ns(scale)),
+    )
+    .expect("decode serving completes")
+}
+
+/// Measure one (rate, shape, budget) point: batched vs sequential.
+pub fn measure(rate: f64, shape: &str, budget: &str, scale: Scale) -> DecodeRow {
+    let levels = parse_shape(shape);
+    let endpoints: u32 = levels.iter().product();
+    let req = request_shape(scale);
+    let budget_bytes = kv_budget(budget, &req);
+    let batched = serve_once(rate, &levels, endpoints as usize * 2, budget_bytes, scale);
+    let sequential = serve_once(rate, &levels, 1, budget_bytes, scale);
+    let gain = if sequential.goodput_rps > 0.0 {
+        batched.goodput_rps / sequential.goodput_rps
+    } else if batched.goodput_rps > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
+    DecodeRow {
+        rate_rps: rate,
+        shape: shape.to_string(),
+        budget: budget.to_string(),
+        endpoints,
+        kv_budget: budget_bytes,
+        offered: batched.offered,
+        admitted: batched.admitted,
+        rejected: batched.rejected,
+        rounds: batched.rounds,
+        mixed_rounds: batched.mixed_rounds,
+        peak_batch: batched.peak_batch,
+        tokens: batched.tokens_decoded,
+        decode_tps: batched.decode_tps,
+        p50_ns: batched.latency.p50_ns,
+        p99_ns: batched.latency.p99_ns,
+        ttft_p50_ns: batched.ttft.p50_ns,
+        kv_evictions: batched.kv.evictions,
+        kv_evicted_bytes: batched.kv.evicted_bytes,
+        kv_transfer_tasks: batched.kv.transfer_tasks,
+        goodput_rps: batched.goodput_rps,
+        sequential_goodput_rps: sequential.goodput_rps,
+        goodput_gain: gain,
+    }
+}
+
+/// The sweep as a declarative experiment: rate × shape × budget,
+/// row-major.
+pub fn experiment(scale: Scale) -> impl Experiment<Point = (f64, String, String), Out = DecodeRow> {
+    Grid::cross3(
+        "decode_scaling",
+        rates(scale),
+        SHAPES.map(String::from),
+        BUDGETS.map(String::from),
+    )
+    .sweep(move |(rate, shape, budget)| measure(*rate, shape, budget, scale))
+}
+
+/// Run the sweep on `jobs` workers.
+pub fn run_jobs(scale: Scale, jobs: Jobs) -> Vec<DecodeRow> {
+    experiment(scale).run(jobs).into_outputs()
+}
+
+/// Run the sweep (worker count from the environment).
+pub fn run(scale: Scale) -> Vec<DecodeRow> {
+    run_jobs(scale, Jobs::from_env())
+}
+
+/// Run at the CLI's settings; print the table unless `--json`; return
+/// the machine-readable sweep value.
+pub fn run_cli(cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment(cli.scale), |r| {
+        print(
+            &r.points.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
+            cli.scale,
+        )
+    })
+}
+
+/// Run and print the decode table.
+pub fn run_and_print(scale: Scale) -> Vec<DecodeRow> {
+    let rows = run(scale);
+    print(&rows, scale);
+    rows
+}
+
+/// Print the decode table.
+pub fn print(rows: &[DecodeRow], scale: Scale) {
+    let s = request_shape(scale);
+    println!(
+        "# Batched decode (extension): {}-token prompts, {} generated \
+         tokens (hidden {}, {} layers), Poisson 2-tenant traffic, \
+         SLO {:.0} ms",
+        s.prompt,
+        s.decode,
+        s.spec.hidden,
+        s.spec.layers,
+        slo_ns(scale) / 1e6
+    );
+    println!(
+        "{:>6} {:>6} {:>6} {:>8} {:>6} {:>7} {:>9} {:>10} {:>10} {:>8} {:>9} {:>9} {:>6}",
+        "rate",
+        "shape",
+        "kv",
+        "offered",
+        "batch",
+        "tokens",
+        "evicted",
+        "p50 (µs)",
+        "ttft(µs)",
+        "tok/s",
+        "goodput",
+        "seq good",
+        "gain"
+    );
+    for r in rows {
+        println!(
+            "{:>6.0} {:>6} {:>6} {:>8} {:>6} {:>7} {:>9} {:>10.0} {:>10.0} {:>8.0} {:>9.1} {:>9.1} {:>5.2}x",
+            r.rate_rps,
+            r.shape,
+            r.budget,
+            r.offered,
+            r.peak_batch,
+            r.tokens,
+            r.kv_evictions,
+            r.p50_ns / 1e3,
+            r.ttft_p50_ns / 1e3,
+            r.decode_tps,
+            r.goodput_rps,
+            r.sequential_goodput_rps,
+            r.goodput_gain
+        );
+    }
+    println!("# expected: below saturation both serve everything (gain ~1x); past it,");
+    println!("# mixed prefill/decode batching over >1 leaf holds goodput the sequential");
+    println!("# loop sheds; tight KV budgets surface eviction Transfer traffic");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_goodput_beats_sequential_by_2x_on_a_four_leaf_tree() {
+        // The acceptance bar: at the top swept rate on the four-leaf
+        // tree with an ample budget, batched decode goodput must be at
+        // least twice the one-request-at-a-time engine's.
+        let rate = rates(Scale::Quick)[2];
+        let row = measure(rate, "2x2", "ample", Scale::Quick);
+        assert_eq!(row.endpoints, 4);
+        assert!(row.peak_batch > 1, "batching never engaged: {row:?}");
+        assert!(
+            row.goodput_gain >= 2.0,
+            "batched decode should be ≥2x sequential at saturation, got {:.2}x",
+            row.goodput_gain
+        );
+        assert!(row.mixed_rounds > 0, "saturation implies mixed rounds");
+    }
+
+    #[test]
+    fn tight_budgets_surface_eviction_transfer_traffic() {
+        // The second acceptance shape: a constrained-KV point must show
+        // observable eviction traffic in the report — and still finish
+        // everything it admitted.
+        let rate = rates(Scale::Quick)[2];
+        let row = measure(rate, "2x2", "tight", Scale::Quick);
+        assert!(row.kv_evictions > 0, "tight budget never evicted: {row:?}");
+        assert!(row.kv_evicted_bytes > 0);
+        assert!(row.kv_transfer_tasks >= row.kv_evictions);
+        let ample = measure(rate, "2x2", "ample", Scale::Quick);
+        assert_eq!(ample.kv_evictions, 0, "ample budget must not evict");
+    }
+
+    #[test]
+    fn below_saturation_everything_is_served_either_way() {
+        let rate = rates(Scale::Quick)[0];
+        let row = measure(rate, "2", "ample", Scale::Quick);
+        assert_eq!(row.rejected, 0, "no load shedding below saturation");
+        assert_eq!(row.admitted, row.offered);
+        assert!(
+            (0.8..=1.25).contains(&row.goodput_gain),
+            "gain should be ~1x below saturation, got {:.2}x",
+            row.goodput_gain
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_worker_counts() {
+        let a = run_jobs(Scale::Quick, Jobs::serial());
+        let b = run_jobs(Scale::Quick, Jobs::new(4));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.shape, y.shape);
+            assert_eq!(x.budget, y.budget);
+            assert_eq!(x.p99_ns.to_bits(), y.p99_ns.to_bits());
+            assert_eq!(x.goodput_rps.to_bits(), y.goodput_rps.to_bits());
+            assert_eq!(x.kv_evicted_bytes, y.kv_evicted_bytes);
+        }
+    }
+}

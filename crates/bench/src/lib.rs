@@ -23,6 +23,7 @@ pub mod ablations;
 pub mod cli;
 pub mod cluster;
 pub mod cxl;
+pub mod decode;
 pub mod energy;
 pub mod fig2;
 pub mod fig3;

@@ -515,6 +515,105 @@ impl Simulation {
             stats: report.stats,
         })
     }
+
+    /// Open an incremental dispatch session: the serving engines extend
+    /// the timeline one round graph at a time through it. See
+    /// [`GraphSession`].
+    pub fn graph_session(&mut self) -> GraphSession<'_> {
+        let start = self.kernel().now();
+        GraphSession {
+            sim: self,
+            rounds: 0,
+            start,
+            last_end: start,
+        }
+    }
+}
+
+/// An incremental dispatch session: successive [`GraphSession::extend`]
+/// calls append round graphs to one simulation's timeline.
+///
+/// This is how the serving layer generates per-round shapes
+/// *incrementally* — the next round's graph (which requests decode,
+/// what their KV pressure transfers look like) is only known once the
+/// previous round's barrier has settled, so the graph cannot be built
+/// ahead of time. The session pins the contract that makes the round
+/// sequence composable:
+///
+/// * **Monotone clock** — round `k+1` starts exactly where round `k`
+///   ended (the kernel clock never rewinds between extends; asserted,
+///   so a regression fails loudly instead of silently folding time).
+/// * **Deterministic** — an extend is [`Simulation::run_graph_timed`]
+///   on the shared simulation: same session, same graph sequence, same
+///   ticks, byte for byte.
+///
+/// ```
+/// use accesys::{Simulation, SystemConfig};
+/// use accesys_workload::graph::op_chain;
+/// use accesys_workload::{encoder_ops, VitModel};
+///
+/// let mut sim = Simulation::new(SystemConfig::paper_baseline()).unwrap();
+/// let graph = op_chain(&encoder_ops(16, 64, 4, 128));
+/// let mut session = sim.graph_session();
+/// let a = session.extend(&graph).unwrap();
+/// let b = session.extend(&graph).unwrap();
+/// assert_eq!(session.rounds(), 2);
+/// assert!(b.start >= a.end, "rounds tile the timeline");
+/// ```
+pub struct GraphSession<'a> {
+    sim: &'a mut Simulation,
+    rounds: u64,
+    start: Tick,
+    last_end: Tick,
+}
+
+impl GraphSession<'_> {
+    /// Dispatch one more round graph at the current kernel tick.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run_graph`]; a failed extend consumes no
+    /// cookies and does not count as a round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel clock ran backwards between rounds — a
+    /// broken invariant, not an input error.
+    pub fn extend(&mut self, graph: &TaskGraph) -> Result<GraphRun, RunError> {
+        let run = self.sim.run_graph_timed(graph)?;
+        assert!(
+            run.start >= self.last_end,
+            "graph session clock ran backwards: round {} started at {} before the previous end {}",
+            self.rounds,
+            run.start,
+            self.last_end,
+        );
+        self.rounds += 1;
+        self.last_end = run.end;
+        Ok(run)
+    }
+
+    /// Rounds extended so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Kernel tick the session opened at.
+    pub fn opened_at(&self) -> Tick {
+        self.start
+    }
+
+    /// Kernel tick the last round ended at (the session open tick
+    /// before any round).
+    pub fn now(&self) -> Tick {
+        self.last_end
+    }
+
+    /// Accelerators of the underlying simulation (engines size their
+    /// batches and KV device choices off this).
+    pub fn accel_count(&self) -> usize {
+        self.sim.accel_count()
+    }
 }
 
 #[cfg(test)]
@@ -947,5 +1046,58 @@ mod tests {
         assert_eq!(plan.max_in_flight, 1);
         assert_eq!(report.stats.get_or_zero("accel0.jobs_done"), 3.0);
         assert_eq!(report.stats.get_or_zero("accel1.jobs_done"), 0.0);
+    }
+
+    #[test]
+    fn graph_sessions_tile_the_timeline_and_count_rounds() {
+        let mut sim = tree_sim(&[2]);
+        let mut session = sim.graph_session();
+        assert_eq!(session.rounds(), 0);
+        assert_eq!(session.now(), session.opened_at());
+        assert_eq!(session.accel_count(), 2);
+        let mut last_end = session.opened_at();
+        for i in 0..3 {
+            let mut g = TaskGraph::new();
+            g.add(
+                format!("r{i}"),
+                TaskKind::Gemm(GemmSpec::square(64)),
+                Affinity::AnyAccel,
+                vec![],
+            );
+            let run = session.extend(&g).unwrap();
+            assert!(run.start >= last_end);
+            assert!(run.end > run.start);
+            last_end = run.end;
+        }
+        assert_eq!(session.rounds(), 3);
+        assert_eq!(session.now(), last_end);
+    }
+
+    #[test]
+    fn graph_session_failed_extends_do_not_count() {
+        let mut sim = tree_sim(&[2]);
+        let mut session = sim.graph_session();
+        assert!(session.extend(&TaskGraph::new()).is_err());
+        assert_eq!(session.rounds(), 0, "failed extend is not a round");
+        // The session still works afterwards (no cookies were burned).
+        let g = op_chain(&encoder_ops(16, 64, 4, 128));
+        assert!(session.extend(&g).is_ok());
+        assert_eq!(session.rounds(), 1);
+    }
+
+    #[test]
+    fn graph_session_matches_direct_dispatch() {
+        // A session is sugar over run_graph_timed: the same graph
+        // sequence on fresh simulations produces identical ticks.
+        let g = small_pipeline(2, 2);
+        let mut direct = tree_sim(&[2]);
+        let a = direct.run_graph_timed(&g).unwrap();
+        let b = direct.run_graph_timed(&g).unwrap();
+        let mut sessioned = tree_sim(&[2]);
+        let mut session = sessioned.graph_session();
+        let sa = session.extend(&g).unwrap();
+        let sb = session.extend(&g).unwrap();
+        assert_eq!((sa.start, sa.end), (a.start, a.end));
+        assert_eq!((sb.start, sb.end), (b.start, b.end));
     }
 }

@@ -125,7 +125,7 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn of(h: &Histogram) -> LatencySummary {
+    pub(crate) fn of(h: &Histogram) -> LatencySummary {
         LatencySummary {
             count: h.count(),
             mean_ns: h.mean(),
@@ -224,14 +224,16 @@ pub fn serve(
     let mut overall = Histogram::new();
     let mut by_tenant = vec![Histogram::new(); tenant_count];
 
+    // Rounds extend one incremental dispatch session: the session pins
+    // the monotone-clock contract the serving clock tiles over.
+    let mut session = sim.graph_session();
     // The serving clock starts on the kernel clock and stays a constant
     // offset ahead of it between idle jumps.
-    let clock_start_ns = units::to_ns(sim.kernel().now());
+    let clock_start_ns = units::to_ns(session.opened_at());
     let mut clock_ns = clock_start_ns;
     let mut next_arrival = 0usize;
     let mut completed = 0u64;
     let mut within_slo = 0u64;
-    let mut rounds = 0u64;
     let mut idle_jumps = 0u64;
     let mut peak_batch = 0usize;
 
@@ -299,8 +301,7 @@ pub fn serve(
         }
         graph.add("round", TaskKind::Barrier, Affinity::AnyAccel, tails);
 
-        let run = sim.run_graph_timed(&graph)?;
-        rounds += 1;
+        let run = session.extend(&graph)?;
         // Serving-clock offset over the kernel clock, constant within a
         // round (grows only at idle jumps).
         let skew_ns = clock_ns - units::to_ns(run.start);
@@ -329,6 +330,7 @@ pub fn serve(
         active.retain(|r| r.slices_left > 0);
     }
 
+    let rounds = session.rounds();
     let elapsed_ns = clock_ns - clock_start_ns;
     let per_sec = |n: u64| {
         if elapsed_ns > 0.0 {

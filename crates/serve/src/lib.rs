@@ -24,6 +24,12 @@
 //!   to host-retirement tick — lands in [`sim::hist`] histograms; the
 //!   [`ServeReport`] carries percentiles, goodput, and per-tenant
 //!   breakdowns.
+//! - [`llm`] — the autoregressive engine mode: [`serve_llm`] batches
+//!   mixed prefill/decode rounds (prefill on admission, one decode
+//!   slice per round, EOS-by-length retirement) with per-request KV
+//!   caches growing in per-device memory slices; capacity pressure
+//!   lowers to host-memory `Transfer` traffic and is reported in
+//!   [`KvReport`] next to time-to-first-token and decode-tokens/sec.
 //!
 //! Determinism is end to end: a seeded spec replayed twice is
 //! byte-identical, and so is the report it produces — on one worker or
@@ -62,10 +68,14 @@
 
 pub mod arrivals;
 pub mod engine;
+pub mod llm;
 pub mod policy;
 pub mod queue;
 
 pub use arrivals::{trace_from_json, Arrival, ArrivalSpec, TraceError};
 pub use engine::{serve, LatencySummary, RequestShape, ServeConfig, ServeReport, TenantReport};
+pub use llm::{
+    serve_llm, KvReport, LlmRequestShape, LlmServeConfig, LlmServeError, LlmServeReport,
+};
 pub use policy::Policy;
 pub use queue::{AdmissionQueue, Queued, Rejected};

@@ -1,0 +1,525 @@
+//! The LLM serving engine: continuous batching of mixed prefill and
+//! decode rounds with KV-cache pressure.
+//!
+//! ## The serving model
+//!
+//! Where [`crate::serve`] batches fixed encoder slices, a request here
+//! is autoregressive ([`LlmRequestShape`]): on admission it runs a
+//! **prefill** over its prompt, then one **decode slice per round**
+//! until it has generated [`LlmRequestShape::decode`] tokens
+//! (EOS-by-length), then it retires and frees its batch slot — so every
+//! round's [`TaskGraph`] is a *mix* of whole-prompt prefill chains and
+//! skinny decode chains, generated incrementally on a
+//! [`GraphSession`]: the next round's shape is only known once this
+//! round's barrier has settled.
+//!
+//! ## KV pressure becomes transfer traffic
+//!
+//! Each request's KV cache grows in the `devmem` slice of the device it
+//! was admitted to (the least-loaded one at admission; all its chains
+//! pin there for locality). Growth goes through the
+//! [`KvCache`] model against [`LlmServeConfig::kv_budget`]: when a
+//! round's claims overflow the budget, the least-recently-decoded
+//! *other* request's cache is offloaded to host memory — and every
+//! [`KvEvent`] is lowered into the round graph as a
+//! [`TaskKind::Transfer`] that the claiming request's slice depends on.
+//! Capacity pressure is therefore *simulated interconnect traffic*
+//! (visible in [`KvReport`] and the round's transfer tasks), not a
+//! silent counter. A shape whose own cache can never fit is a typed
+//! [`LlmServeError`] at entry.
+//!
+//! ## Determinism
+//!
+//! Same contract as [`crate::serve`]: the engine is a deterministic
+//! function of (simulation, shape, arrivals, policy, config). KV
+//! eviction decisions are BTree-ordered LRU, device assignment is
+//! least-resident-then-lowest-index, and the dispatcher below is the
+//! PR 5 deterministic compiler — a replayed trace is byte-identical,
+//! report and all.
+//!
+//! [`GraphSession`]: accesys::GraphSession
+//! [`TaskGraph`]: accesys_workload::graph::TaskGraph
+//! [`TaskKind::Transfer`]: accesys_workload::graph::TaskKind::Transfer
+
+use crate::arrivals::Arrival;
+use crate::engine::{LatencySummary, TenantReport};
+use crate::policy::Policy;
+use crate::queue::{AdmissionQueue, Queued};
+use accesys::{RunError, Simulation};
+use accesys_sim::{units, Histogram};
+use accesys_workload::graph::{append_chain, Affinity, TaskGraph, TaskId, TaskKind};
+use accesys_workload::llm::{KvCache, KvError, KvEvent, LlmSpec};
+
+/// What one autoregressive request costs: a prompt to prefill, then
+/// `decode` generated tokens (one per round) before EOS.
+#[derive(Copy, Clone, Debug, serde::Serialize)]
+pub struct LlmRequestShape {
+    /// Model geometry.
+    pub spec: LlmSpec,
+    /// Prompt tokens prefetched in one prefill round.
+    pub prompt: u32,
+    /// Tokens generated after prefill (EOS-by-length). `0` retires the
+    /// request at its prefill round.
+    pub decode: u32,
+}
+
+impl LlmRequestShape {
+    /// KV bytes this request pins once fully decoded — the footprint
+    /// the per-device budget must fit.
+    pub fn max_kv_bytes(&self) -> u64 {
+        self.spec
+            .kv_bytes_per_token()
+            .saturating_mul(u64::from(self.prompt.max(1)) + u64::from(self.decode))
+    }
+}
+
+/// LLM engine knobs: the [`crate::ServeConfig`] bounds plus the
+/// per-device KV budget.
+#[derive(Copy, Clone, Debug, serde::Serialize)]
+pub struct LlmServeConfig {
+    /// Max requests folded into one round (clamped to ≥ 1).
+    pub batch_cap: usize,
+    /// Admission-queue bound (clamped to ≥ 1).
+    pub queue_cap: usize,
+    /// Latency SLO in virtual nanoseconds (per whole request,
+    /// arrival → EOS); `f64::INFINITY` counts every completion.
+    pub slo_ns: f64,
+    /// Per-device KV-cache budget in bytes: the share of each device's
+    /// `devmem` slice reserved for KV residency.
+    pub kv_budget: u64,
+}
+
+impl LlmServeConfig {
+    /// Bounds and budget with no SLO.
+    pub fn new(batch_cap: usize, queue_cap: usize, kv_budget: u64) -> LlmServeConfig {
+        LlmServeConfig {
+            batch_cap,
+            queue_cap,
+            slo_ns: f64::INFINITY,
+            kv_budget,
+        }
+    }
+
+    /// The same bounds with a latency SLO.
+    pub fn with_slo_ns(mut self, slo_ns: f64) -> LlmServeConfig {
+        self.slo_ns = slo_ns;
+        self
+    }
+}
+
+/// Largest per-device KV budget the engine accepts: eviction and
+/// restore traffic is lowered as single streaming transfers, so a
+/// segment must fit the CPU activation window with room to spare.
+pub const KV_BUDGET_MAX: u64 = accesys::addrmap::ACT_SPLIT / 4;
+
+/// Why an LLM serve cannot run (or failed mid-flight).
+#[derive(Debug)]
+pub enum LlmServeError {
+    /// The dispatcher failed (invalid graph, window overflow,
+    /// simulation error).
+    Run(RunError),
+    /// The KV-cache model rejected a claim.
+    Kv(KvError),
+    /// The request shape's full KV footprint exceeds the per-device
+    /// budget: no request could ever finish, so the serve refuses to
+    /// start instead of erroring on the first decode.
+    ShapeExceedsKvBudget {
+        /// Bytes one fully decoded request pins.
+        need: u64,
+        /// The configured per-device budget.
+        budget: u64,
+    },
+    /// The configured budget exceeds [`KV_BUDGET_MAX`].
+    KvBudgetTooLarge {
+        /// The configured budget.
+        budget: u64,
+        /// The largest supported budget.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for LlmServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LlmServeError::Run(e) => write!(f, "dispatch failed: {e}"),
+            LlmServeError::Kv(e) => write!(f, "KV cache rejected a claim: {e}"),
+            LlmServeError::ShapeExceedsKvBudget { need, budget } => write!(
+                f,
+                "request shape pins {need} KV bytes but the per-device budget is {budget}"
+            ),
+            LlmServeError::KvBudgetTooLarge { budget, max } => {
+                write!(f, "KV budget {budget} exceeds the supported maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LlmServeError {}
+
+impl From<RunError> for LlmServeError {
+    fn from(e: RunError) -> Self {
+        LlmServeError::Run(e)
+    }
+}
+
+impl From<KvError> for LlmServeError {
+    fn from(e: KvError) -> Self {
+        LlmServeError::Kv(e)
+    }
+}
+
+/// The KV-pressure story of a serve: how full the slices ran and how
+/// much eviction/restore traffic the budget forced.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct KvReport {
+    /// The per-device budget served under.
+    pub budget: u64,
+    /// Peak resident bytes observed on any single device.
+    pub peak_resident: u64,
+    /// Cache evictions (requests offloaded to host memory).
+    pub evictions: u64,
+    /// Bytes offloaded to host memory.
+    pub evicted_bytes: u64,
+    /// Cache restores (offloaded requests brought back).
+    pub restores: u64,
+    /// Bytes restored from host memory.
+    pub restored_bytes: u64,
+    /// `Transfer` tasks the pressure added to round graphs
+    /// (evictions + restores — the observable traffic).
+    pub transfer_tasks: u64,
+}
+
+/// What an LLM serve produced: request counts and tails like
+/// [`crate::ServeReport`], plus token throughput, time-to-first-token,
+/// and the KV-pressure story.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct LlmServeReport {
+    /// Arrivals offered by the generator.
+    pub offered: u64,
+    /// Requests admitted past the queue bound.
+    pub admitted: u64,
+    /// Requests that prefetched and decoded to EOS.
+    pub completed: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Batching rounds executed.
+    pub rounds: u64,
+    /// Rounds that mixed at least one prefill with at least one decode
+    /// slice (the continuous-batching signature).
+    pub mixed_rounds: u64,
+    /// Idle jumps (serving clock advanced to the next arrival).
+    pub idle_jumps: u64,
+    /// Peak requests folded into one round.
+    pub peak_batch: usize,
+    /// Decode tokens generated across all requests.
+    pub tokens_decoded: u64,
+    /// Serving-clock span from engine start to last completion, ns.
+    pub elapsed_ns: f64,
+    /// Arrival rate actually offered over the elapsed span, req/s.
+    pub offered_rps: f64,
+    /// Completions per second of serving time.
+    pub throughput_rps: f64,
+    /// Completions within the SLO per second of serving time.
+    pub goodput_rps: f64,
+    /// Decode tokens per second of serving time.
+    pub decode_tps: f64,
+    /// Arrival → EOS latency distribution.
+    pub latency: LatencySummary,
+    /// Arrival → end-of-prefill (time-to-first-token) distribution.
+    pub ttft: LatencySummary,
+    /// KV-cache pressure counters.
+    pub kv: KvReport,
+    /// Per-tenant breakdown, indexed by tenant id.
+    pub tenants: Vec<TenantReport>,
+}
+
+/// One in-flight autoregressive request.
+struct Active {
+    id: u64,
+    tenant: u32,
+    arrival_ns: u64,
+    /// KV home device; every chain of this request pins here.
+    device: usize,
+    /// Whether the prefill round has run.
+    prefilled: bool,
+    /// Decode tokens generated so far.
+    decoded: u32,
+}
+
+/// Serve autoregressive `arrivals` on `sim` to completion: prefill on
+/// admission, one decode slice per round with KV growth, retirement on
+/// EOS-by-length. See the module docs for the model.
+///
+/// # Errors
+///
+/// [`LlmServeError::ShapeExceedsKvBudget`] / [`KvBudgetTooLarge`]
+/// before any simulation, or a dispatch/KV error mid-serve.
+///
+/// [`KvBudgetTooLarge`]: LlmServeError::KvBudgetTooLarge
+pub fn serve_llm(
+    sim: &mut Simulation,
+    shape: &LlmRequestShape,
+    arrivals: &[Arrival],
+    policy: &Policy,
+    cfg: &LlmServeConfig,
+) -> Result<LlmServeReport, LlmServeError> {
+    if cfg.kv_budget > KV_BUDGET_MAX {
+        return Err(LlmServeError::KvBudgetTooLarge {
+            budget: cfg.kv_budget,
+            max: KV_BUDGET_MAX,
+        });
+    }
+    if shape.max_kv_bytes() > cfg.kv_budget {
+        return Err(LlmServeError::ShapeExceedsKvBudget {
+            need: shape.max_kv_bytes(),
+            budget: cfg.kv_budget,
+        });
+    }
+    let prefill_ops = shape.spec.prefill_ops(shape.prompt);
+    let kv_per_token = shape.spec.kv_bytes_per_token();
+    let batch_cap = cfg.batch_cap.max(1);
+    let tenant_count = arrivals
+        .iter()
+        .map(|a| a.tenant as usize + 1)
+        .max()
+        .unwrap_or(1);
+
+    let devices = sim.accel_count();
+    let mut kv = KvCache::new(devices, cfg.kv_budget);
+    let mut policy = policy.clone();
+    let mut queue = AdmissionQueue::new(cfg.queue_cap);
+    let mut active: Vec<Active> = Vec::new();
+    let mut admitted_by_tenant = vec![0u64; tenant_count];
+    let mut overall = Histogram::new();
+    let mut ttft_hist = Histogram::new();
+    let mut by_tenant = vec![Histogram::new(); tenant_count];
+
+    let mut session = sim.graph_session();
+    let clock_start_ns = units::to_ns(session.opened_at());
+    let mut clock_ns = clock_start_ns;
+    let mut next_arrival = 0usize;
+    let mut completed = 0u64;
+    let mut within_slo = 0u64;
+    let mut mixed_rounds = 0u64;
+    let mut idle_jumps = 0u64;
+    let mut peak_batch = 0usize;
+    let mut tokens_decoded = 0u64;
+    let mut kv_transfer_tasks = 0u64;
+
+    loop {
+        // 1. Admission (identical to the encoder engine): arrivals at or
+        // before the serving clock enter the bounded queue.
+        while next_arrival < arrivals.len() && arrivals[next_arrival].at_ns as f64 <= clock_ns {
+            let a = arrivals[next_arrival];
+            let _ = queue.offer(Queued {
+                id: next_arrival as u64,
+                tenant: a.tenant,
+                arrival_ns: a.at_ns,
+            });
+            next_arrival += 1;
+        }
+
+        // 2. Batch refill: each admitted request gets the device with
+        // the least resident KV (ties to the lowest index) as its KV
+        // home — its prefill and every decode slice pin there.
+        while active.len() < batch_cap {
+            let Some(index) = policy.pick(&queue, &admitted_by_tenant) else {
+                break;
+            };
+            let q = queue.take_at(index);
+            admitted_by_tenant[q.tenant as usize] += 1;
+            let device = (0..devices)
+                .min_by_key(|&d| (kv.resident_on(d), d))
+                .unwrap_or(0);
+            active.push(Active {
+                id: q.id,
+                tenant: q.tenant,
+                arrival_ns: q.arrival_ns,
+                device,
+                prefilled: false,
+                decoded: 0,
+            });
+        }
+
+        if active.is_empty() {
+            let Some(a) = arrivals.get(next_arrival) else {
+                break; // drained: queue empty, nothing in flight
+            };
+            clock_ns = clock_ns.max(a.at_ns as f64);
+            idle_jumps += 1;
+            continue;
+        }
+        peak_batch = peak_batch.max(active.len());
+
+        // 3. Build the round: per request, claim this round's KV growth
+        // (prefill claims the whole prompt, decode claims one token),
+        // lower any eviction/restore events as Transfer tasks the slice
+        // depends on, then append the slice chain pinned to the KV home.
+        let round = session.rounds();
+        let mut graph = TaskGraph::new();
+        let mut tails = Vec::with_capacity(active.len());
+        let mut prefills = 0usize;
+        let mut decodes = 0usize;
+        for r in &active {
+            let (ops, tag, tokens) = if r.prefilled {
+                (
+                    shape.spec.decode_ops(shape.prompt.max(1) + r.decoded),
+                    format!("d{}", r.decoded),
+                    1u64,
+                )
+            } else {
+                (
+                    prefill_ops.clone(),
+                    "p".to_string(),
+                    u64::from(shape.prompt.max(1)),
+                )
+            };
+            if r.prefilled {
+                decodes += 1;
+            } else {
+                prefills += 1;
+            }
+            let events = kv.claim(r.id, r.device, tokens.saturating_mul(kv_per_token), round)?;
+            let mut prev: Option<TaskId> = None;
+            for ev in events {
+                let (name, bytes) = match ev {
+                    KvEvent::Evicted { request, bytes, .. } => {
+                        (format!("r{}.kv.evict.r{request}", r.id), bytes)
+                    }
+                    KvEvent::Restored { request, bytes, .. } => {
+                        (format!("r{}.kv.restore.r{request}", r.id), bytes)
+                    }
+                };
+                kv_transfer_tasks += 1;
+                let deps = prev.into_iter().collect();
+                prev =
+                    Some(graph.add(name, TaskKind::Transfer { bytes }, Affinity::AnyAccel, deps));
+            }
+            let tail = append_chain(
+                &mut graph,
+                &ops,
+                Affinity::Pinned(r.device),
+                prev,
+                &format!("r{}.{tag}", r.id),
+            )
+            .expect("llm op lists are non-empty");
+            // Completion labels: the tail of the retiring slice carries
+            // the request id; a prefill that is not the last slice
+            // carries `t<id>` for time-to-first-token.
+            let retires = if r.prefilled {
+                r.decoded + 1 >= shape.decode
+            } else {
+                shape.decode == 0
+            };
+            if retires {
+                graph.set_completion(tail, r.id.to_string());
+            } else if !r.prefilled {
+                graph.set_completion(tail, format!("t{}", r.id));
+            }
+            tails.push(tail);
+        }
+        graph.add("round", TaskKind::Barrier, Affinity::AnyAccel, tails);
+        if prefills > 0 && decodes > 0 {
+            mixed_rounds += 1;
+        }
+
+        let run = session.extend(&graph)?;
+        let skew_ns = clock_ns - units::to_ns(run.start);
+        clock_ns = units::to_ns(run.end) + skew_ns;
+
+        // 4. Retire and advance: completion marks place TTFT and EOS on
+        // the serving clock; retired requests free their KV and slot.
+        for (label, tick) in &run.completions {
+            let (is_ttft, id_str) = match label.strip_prefix('t') {
+                Some(rest) => (true, rest),
+                None => (false, label.as_str()),
+            };
+            let id: u64 = id_str.parse().expect("completion labels are request ids");
+            let r = active
+                .iter()
+                .find(|r| r.id == id)
+                .expect("completion for an in-flight request");
+            let latency_ns = (units::to_ns(*tick) + skew_ns) - r.arrival_ns as f64;
+            if is_ttft {
+                ttft_hist.observe(latency_ns);
+            } else {
+                // EOS: for zero-decode shapes the prefill tail is also
+                // the first token, so TTFT coincides with the latency.
+                if !r.prefilled {
+                    ttft_hist.observe(latency_ns);
+                }
+                overall.observe(latency_ns);
+                by_tenant[r.tenant as usize].observe(latency_ns);
+                completed += 1;
+                if latency_ns <= cfg.slo_ns {
+                    within_slo += 1;
+                }
+            }
+        }
+        for r in &mut active {
+            if r.prefilled {
+                r.decoded += 1;
+                tokens_decoded += 1;
+            } else {
+                r.prefilled = true;
+            }
+        }
+        active.retain(|r| {
+            let done = r.decoded >= shape.decode;
+            if done {
+                kv.release(r.id);
+            }
+            !done
+        });
+    }
+
+    let rounds = session.rounds();
+    let elapsed_ns = clock_ns - clock_start_ns;
+    let per_sec = |n: u64| {
+        if elapsed_ns > 0.0 {
+            n as f64 / (elapsed_ns / 1e9)
+        } else {
+            0.0
+        }
+    };
+    let tenants = (0..tenant_count)
+        .map(|t| TenantReport {
+            tenant: t as u32,
+            admitted: admitted_by_tenant[t],
+            rejected: queue
+                .rejected_by_tenant()
+                .get(t)
+                .copied()
+                .unwrap_or_default(),
+            latency: LatencySummary::of(&by_tenant[t]),
+        })
+        .collect();
+    Ok(LlmServeReport {
+        offered: arrivals.len() as u64,
+        admitted: admitted_by_tenant.iter().sum(),
+        completed,
+        rejected: queue.rejected(),
+        rounds,
+        mixed_rounds,
+        idle_jumps,
+        peak_batch,
+        tokens_decoded,
+        elapsed_ns,
+        offered_rps: per_sec(arrivals.len() as u64),
+        throughput_rps: per_sec(completed),
+        goodput_rps: per_sec(within_slo),
+        decode_tps: per_sec(tokens_decoded),
+        latency: LatencySummary::of(&overall),
+        ttft: LatencySummary::of(&ttft_hist),
+        kv: KvReport {
+            budget: cfg.kv_budget,
+            peak_resident: kv.peak_resident(),
+            evictions: kv.evictions(),
+            evicted_bytes: kv.evicted_bytes(),
+            restores: kv.restores(),
+            restored_bytes: kv.restored_bytes(),
+            transfer_tasks: kv_transfer_tasks,
+        },
+        tenants,
+    })
+}

@@ -14,11 +14,16 @@
 //!   edges and per-task device affinity, plus the lowerings from the
 //!   flat operator lists (chains, fork-join sharding, pipelined
 //!   multi-device inference, head-parallel attention, tenant mixes).
+//! * [`llm`] — the autoregressive family: prefill fork-joins, skinny
+//!   per-token decode chains, a [`llm::KvCache`] capacity model whose
+//!   pressure lowers to host-memory transfers, speculative-decode
+//!   fork-verify and MoE token-routing shapes.
 #![warn(missing_docs)]
 
 mod bert;
 mod gemm;
 pub mod graph;
+pub mod llm;
 mod vit;
 
 pub use bert::{bert_embed_ops, bert_ops, BertModel};

@@ -1,0 +1,786 @@
+//! The autoregressive (LLM) workload family: prefill fork-joins,
+//! per-token decode chains, and a KV-cache capacity model.
+//!
+//! Encoder workloads ([`crate::vit_ops`], [`crate::bert_ops`]) are
+//! closed shapes: the whole sequence is known up front and every layer
+//! touches all of it. Autoregressive serving splits into two regimes
+//! with very different system behaviour:
+//!
+//! * **Prefill** — the prompt flows through every layer at full
+//!   sequence length, exactly like an encoder layer stack. Compute
+//!   bound; shards well ([`LlmSpec::prefill_graph`] is a fork-join over
+//!   the batch).
+//! * **Decode** — one new token attends over the whole accumulated
+//!   context. The GEMMs are skinny (`m = 1`), the arithmetic intensity
+//!   collapses, and the working set that matters is the **KV cache**:
+//!   two `hidden`-wide vectors per layer per generated token that must
+//!   stay resident in device memory for the next step to read.
+//!
+//! The [`KvCache`] models that residency against a per-device byte
+//! budget (a slice of `devmem`, see `accesys::addrmap::devmem_slice`).
+//! Claims that don't fit evict the least-recently-touched *other*
+//! request on the device — a typed [`KvEvent::Evicted`] the serving
+//! layer lowers to a host-memory [`TaskKind::Transfer`] — and a request
+//! whose own cache can never fit is a typed [`KvError`], not a panic.
+//! Capacity pressure is therefore observable as transfer traffic, never
+//! silent.
+//!
+//! Two more shapes round out the family: [`speculative_fork_verify`]
+//! (a cheap draft chain followed by a parallel verify fork) and
+//! [`moe_token_route`] (router → per-expert GEMMs pinned across
+//! switch-tree leaves → combine), both plain [`TaskGraph`]s any
+//! dispatcher topology can run.
+
+use std::collections::BTreeMap;
+
+use crate::graph::{append_chain, Affinity, TaskGraph, TaskId, TaskKind};
+use crate::{encoder_ops, Op, OpKind};
+
+/// Geometry of an autoregressive transformer: the per-layer shapes both
+/// prefill and decode ops derive from.
+#[derive(Copy, Clone, Debug, serde::Serialize)]
+pub struct LlmSpec {
+    /// Hidden dimension (must be a multiple of `heads`).
+    pub hidden: u32,
+    /// Attention heads.
+    pub heads: u32,
+    /// MLP expansion dimension.
+    pub mlp: u32,
+    /// Decoder layers.
+    pub layers: u32,
+}
+
+impl LlmSpec {
+    /// A deliberately small geometry for tests and quick sweeps (hidden
+    /// 64, 4 heads, MLP 128, 2 layers): big enough to exercise every op
+    /// class, small enough that a prefill+decode serve simulates in
+    /// milliseconds.
+    pub fn tiny() -> LlmSpec {
+        LlmSpec {
+            hidden: 64,
+            heads: 4,
+            mlp: 128,
+            layers: 2,
+        }
+    }
+
+    /// KV-cache bytes one generated (or prompted) token pins in device
+    /// memory: a key and a value vector (`2 × hidden × 4` bytes) per
+    /// layer. Saturating, like the other workload byte math.
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2u64.saturating_mul(u64::from(self.layers))
+            .saturating_mul(u64::from(self.hidden))
+            .saturating_mul(4)
+    }
+
+    /// The operator list of a **prefill**: the whole `prompt` flows
+    /// through all [`LlmSpec::layers`] layers at full sequence length —
+    /// an encoder stack, op for op.
+    pub fn prefill_ops(&self, prompt: u32) -> Vec<Op> {
+        let layer = encoder_ops(prompt.max(1), self.hidden, self.heads, self.mlp);
+        let mut ops = Vec::with_capacity(layer.len() * self.layers.max(1) as usize);
+        for _ in 0..self.layers.max(1) {
+            ops.extend(layer.iter().cloned());
+        }
+        ops
+    }
+
+    /// The operator list of **one decode step**: a single token through
+    /// all layers, attending over `ctx` cached tokens. Every GEMM is
+    /// `m = 1` — the memory-bound regime where the KV cache (the
+    /// `ctx`-long score/value reads) dominates.
+    pub fn decode_ops(&self, ctx: u32) -> Vec<Op> {
+        let ctx = ctx.max(1);
+        let h = u64::from(self.hidden);
+        let hd = self.hidden / self.heads;
+        let m = u64::from(self.mlp);
+        let c = u64::from(ctx);
+        let heads = u64::from(self.heads);
+        let d = 4u64; // 4-byte elements
+        let layer = vec![
+            Op::non_gemm("ln1", OpKind::LayerNorm, h * d, h * d, 8 * h, 1),
+            Op::gemm("qkv", 1, 3 * self.hidden, self.hidden, 1),
+            // One new query row against the whole cached context.
+            Op::gemm("scores", 1, ctx, hd, self.heads),
+            Op::non_gemm(
+                "softmax",
+                OpKind::Softmax,
+                heads * c * d,
+                heads * c * d,
+                5 * heads * c,
+                1,
+            ),
+            Op::gemm("attnv", 1, hd, ctx, self.heads),
+            Op::gemm("proj", 1, self.hidden, self.hidden, 1),
+            Op::non_gemm("residual1", OpKind::Residual, 2 * h * d, h * d, h, 1),
+            Op::non_gemm("ln2", OpKind::LayerNorm, h * d, h * d, 8 * h, 1),
+            Op::gemm("fc1", 1, self.mlp, self.hidden, 1),
+            Op::non_gemm("gelu", OpKind::Gelu, m * d, m * d, 10 * m, 1),
+            Op::gemm("fc2", 1, self.hidden, self.mlp, 1),
+            Op::non_gemm("residual2", OpKind::Residual, 2 * h * d, h * d, h, 1),
+        ];
+        let mut ops = Vec::with_capacity(layer.len() * self.layers.max(1) as usize);
+        for _ in 0..self.layers.max(1) {
+            ops.extend(layer.iter().cloned());
+        }
+        ops
+    }
+
+    /// A **prefill fork-join**: `batch` independent prompt chains over
+    /// an [`Affinity::AnyAccel`] pool, joined by a barrier — the shape
+    /// the serving layer dispatches when several requests are admitted
+    /// in one round.
+    pub fn prefill_graph(&self, batch: u32, prompt: u32) -> TaskGraph {
+        let ops = self.prefill_ops(prompt);
+        let mut g = TaskGraph::new();
+        let mut tails = Vec::new();
+        for b in 0..batch.max(1) {
+            let tail = append_chain(&mut g, &ops, Affinity::AnyAccel, None, &format!("p{b}"))
+                .expect("prefill op lists are non-empty");
+            tails.push(tail);
+        }
+        g.add("prefill", TaskKind::Barrier, Affinity::AnyAccel, tails);
+        g
+    }
+}
+
+/// Why a KV-cache claim can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// A single request's cache can never fit the per-device budget:
+    /// even after evicting everything else the claim would not fit.
+    /// Admission-time error, not a panic.
+    RequestExceedsSlice {
+        /// The request whose cache outgrew the slice.
+        request: u64,
+        /// Resident bytes the request would need.
+        need: u64,
+        /// The per-device budget it exceeds.
+        budget: u64,
+    },
+    /// A claim named a device the cache was not sized for.
+    BadDevice {
+        /// The out-of-range device index.
+        device: usize,
+        /// Devices the cache tracks.
+        devices: usize,
+    },
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::RequestExceedsSlice {
+                request,
+                need,
+                budget,
+            } => write!(
+                f,
+                "request {request} needs {need} KV bytes resident but the device slice holds {budget}"
+            ),
+            KvError::BadDevice { device, devices } => {
+                write!(f, "KV claim on device {device} but the cache tracks {devices}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// A residency change the cache made to satisfy a claim. The serving
+/// layer lowers each event to a [`TaskKind::Transfer`] against host
+/// memory, so capacity pressure shows up as interconnect traffic.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum KvEvent {
+    /// A victim request's cache was offloaded to host memory.
+    Evicted {
+        /// The request whose cache was offloaded.
+        request: u64,
+        /// The device it was evicted from.
+        device: usize,
+        /// Bytes moved out.
+        bytes: u64,
+    },
+    /// A previously evicted request's cache was brought back before
+    /// growing.
+    Restored {
+        /// The request whose cache came back.
+        request: u64,
+        /// The device it was restored to.
+        device: usize,
+        /// Bytes moved back in.
+        bytes: u64,
+    },
+}
+
+/// One request's KV allocation.
+#[derive(Copy, Clone, Debug)]
+struct KvSegment {
+    device: usize,
+    bytes: u64,
+    resident: bool,
+    last_touch: u64,
+}
+
+/// The KV-cache capacity model: per-request byte segments growing
+/// inside per-device budgets, with LRU eviction to host memory under
+/// pressure.
+///
+/// Deterministic by construction — segments live in a [`BTreeMap`]
+/// keyed by request id, victims are picked by `(last_touch, id)` — so a
+/// replayed serve makes identical eviction decisions.
+///
+/// ```
+/// use accesys_workload::llm::{KvCache, KvEvent};
+///
+/// let mut kv = KvCache::new(1, 1000);
+/// assert!(kv.claim(0, 0, 600, 0).unwrap().is_empty());
+/// assert!(kv.claim(1, 0, 400, 1).unwrap().is_empty()); // exactly full
+/// // Growing request 1 evicts request 0 (the LRU victim):
+/// let events = kv.claim(1, 0, 100, 2).unwrap();
+/// assert_eq!(
+///     events,
+///     vec![KvEvent::Evicted { request: 0, device: 0, bytes: 600 }]
+/// );
+/// assert_eq!(kv.resident_on(0), 500);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct KvCache {
+    budget: u64,
+    segments: BTreeMap<u64, KvSegment>,
+    resident: Vec<u64>,
+    evictions: u64,
+    evicted_bytes: u64,
+    restores: u64,
+    restored_bytes: u64,
+    peak_resident: u64,
+}
+
+impl KvCache {
+    /// A cache over `devices` devices, each with `budget_bytes` of KV
+    /// capacity (the devmem slice share reserved for KV).
+    pub fn new(devices: usize, budget_bytes: u64) -> KvCache {
+        KvCache {
+            budget: budget_bytes,
+            resident: vec![0; devices.max(1)],
+            ..KvCache::default()
+        }
+    }
+
+    /// The per-device byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Devices tracked.
+    pub fn devices(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Resident KV bytes currently on `device`.
+    pub fn resident_on(&self, device: usize) -> u64 {
+        self.resident.get(device).copied().unwrap_or(0)
+    }
+
+    /// Total KV bytes of `request` (resident or offloaded).
+    pub fn bytes_of(&self, request: u64) -> u64 {
+        self.segments.get(&request).map(|s| s.bytes).unwrap_or(0)
+    }
+
+    /// Evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Bytes evicted to host memory so far (saturating — synthetic
+    /// mega-caches stay absurdly large instead of wrapping).
+    pub fn evicted_bytes(&self) -> u64 {
+        self.evicted_bytes
+    }
+
+    /// Restores performed so far.
+    pub fn restores(&self) -> u64 {
+        self.restores
+    }
+
+    /// Bytes restored from host memory so far (saturating).
+    pub fn restored_bytes(&self) -> u64 {
+        self.restored_bytes
+    }
+
+    /// Peak resident bytes observed on any single device.
+    pub fn peak_resident(&self) -> u64 {
+        self.peak_resident
+    }
+
+    /// Grow `request`'s cache on `device` by `bytes` (restoring it
+    /// first if it was evicted), evicting least-recently-touched other
+    /// requests as needed. `round` is the LRU clock — the serving
+    /// engine passes its round counter. Returns the residency changes
+    /// in the order they must be lowered (evictions first, then the
+    /// restore).
+    ///
+    /// Eviction fires only when the claim *strictly* exceeds the
+    /// budget: a claim that lands exactly on it is a fit, not pressure.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::RequestExceedsSlice`] when the request's own cache
+    /// would exceed the whole budget (nothing to evict can help), and
+    /// [`KvError::BadDevice`] for an out-of-range device. Failed claims
+    /// change nothing.
+    pub fn claim(
+        &mut self,
+        request: u64,
+        device: usize,
+        bytes: u64,
+        round: u64,
+    ) -> Result<Vec<KvEvent>, KvError> {
+        if device >= self.resident.len() {
+            return Err(KvError::BadDevice {
+                device,
+                devices: self.resident.len(),
+            });
+        }
+        let seg = self.segments.get(&request).copied();
+        // A request never spans devices: growth continues on the device
+        // that holds (or held) its segment.
+        let device = seg.map(|s| s.device).unwrap_or(device);
+        let total = seg.map(|s| s.bytes).unwrap_or(0).saturating_add(bytes);
+        if total > self.budget {
+            return Err(KvError::RequestExceedsSlice {
+                request,
+                need: total,
+                budget: self.budget,
+            });
+        }
+        // Bytes this claim adds to the device: the growth, plus the
+        // whole segment when it has to come back from host memory.
+        let already_resident = seg.filter(|s| s.resident).map(|s| s.bytes).unwrap_or(0);
+        let delta = total - already_resident;
+
+        let mut events = Vec::new();
+        // The pressure check runs in u128 so u64-scale segments still
+        // compare correctly instead of saturating into a false fit.
+        while u128::from(self.resident[device]) + u128::from(delta) > u128::from(self.budget) {
+            let victim = self
+                .segments
+                .iter()
+                .filter(|(&id, s)| id != request && s.resident && s.device == device)
+                .min_by_key(|(&id, s)| (s.last_touch, id))
+                .map(|(&id, _)| id)
+                .expect("over budget implies another resident segment to evict");
+            let v = self.segments.get_mut(&victim).expect("victim exists");
+            v.resident = false;
+            self.resident[device] -= v.bytes;
+            self.evictions += 1;
+            self.evicted_bytes = self.evicted_bytes.saturating_add(v.bytes);
+            events.push(KvEvent::Evicted {
+                request: victim,
+                device,
+                bytes: v.bytes,
+            });
+        }
+        if let Some(s) = seg {
+            if !s.resident && s.bytes > 0 {
+                self.restores += 1;
+                self.restored_bytes = self.restored_bytes.saturating_add(s.bytes);
+                events.push(KvEvent::Restored {
+                    request,
+                    device,
+                    bytes: s.bytes,
+                });
+            }
+        }
+        self.segments.insert(
+            request,
+            KvSegment {
+                device,
+                bytes: total,
+                resident: true,
+                last_touch: round,
+            },
+        );
+        self.resident[device] = self.resident[device].saturating_add(delta);
+        self.peak_resident = self.peak_resident.max(self.resident[device]);
+        Ok(events)
+    }
+
+    /// Drop `request`'s cache entirely (the request retired), freeing
+    /// its resident bytes. Returns the bytes freed (0 for unknown
+    /// requests — releasing twice is harmless).
+    pub fn release(&mut self, request: u64) -> u64 {
+        match self.segments.remove(&request) {
+            Some(s) => {
+                if s.resident {
+                    self.resident[s.device] -= s.bytes;
+                }
+                s.bytes
+            }
+            None => 0,
+        }
+    }
+}
+
+/// A **speculative-decode fork-verify** graph: a cheap sequential draft
+/// chain proposes `draft` tokens (one [`LlmSpec::decode_ops`] slice per
+/// token, context growing each step), then the full model verifies all
+/// of them at once — a single-layer encoder pass over the `draft`-long
+/// window forked across `devices` and joined at a barrier. The draft is
+/// latency-serial; the verify is the parallel part worth sharding.
+pub fn speculative_fork_verify(spec: &LlmSpec, ctx: u32, draft: u32, devices: usize) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let mut prev: Option<TaskId> = None;
+    let draft = draft.max(1);
+    for i in 0..draft {
+        prev = append_chain(
+            &mut g,
+            &spec.decode_ops(ctx.saturating_add(i)),
+            Affinity::AnyAccel,
+            prev,
+            &format!("draft{i}"),
+        );
+    }
+    let verify_ops = encoder_ops(draft, spec.hidden, spec.heads, spec.mlp);
+    let mut joins = Vec::new();
+    for d in 0..devices.max(1) {
+        let tail = append_chain(
+            &mut g,
+            &verify_ops,
+            Affinity::Pinned(d),
+            prev,
+            &format!("verify{d}"),
+        )
+        .expect("verify op lists are non-empty");
+        joins.push(tail);
+    }
+    g.add("verify", TaskKind::Barrier, Affinity::AnyAccel, joins);
+    g
+}
+
+/// An **MoE token-routing** graph: a router stream scores `tokens`,
+/// each expert's share (tokens split round-robin, so counts differ by
+/// at most one) runs its MLP pair pinned to device `expert % devices` —
+/// across switch-tree leaves, this is the all-to-all the paper's
+/// topology questions care about — and a combine stream joins the
+/// expert outputs.
+pub fn moe_token_route(spec: &LlmSpec, tokens: u32, experts: usize, devices: usize) -> TaskGraph {
+    let tokens = tokens.max(1);
+    let experts = experts.max(1) as u32;
+    let devices = devices.max(1);
+    let h = u64::from(spec.hidden);
+    let d = 4u64;
+    let mut g = TaskGraph::new();
+    let router = g.add(
+        "router",
+        TaskKind::Stream {
+            read_bytes: u64::from(tokens) * h * d,
+            write_bytes: u64::from(tokens) * d,
+            flops: u64::from(tokens) * u64::from(experts) * 2,
+        },
+        Affinity::AnyAccel,
+        vec![],
+    );
+    let mut tails = Vec::new();
+    for e in 0..experts {
+        let share = tokens / experts + u32::from(e < tokens % experts);
+        if share == 0 {
+            continue;
+        }
+        let dev = e as usize % devices;
+        // Tokens travel to the expert's leaf …
+        let to = g.add(
+            format!("e{e}.route"),
+            TaskKind::Transfer {
+                bytes: u64::from(share) * h * d,
+            },
+            Affinity::AnyAccel,
+            vec![router],
+        );
+        // … run its MLP pair there …
+        let up = g.add(
+            format!("e{e}.fc1"),
+            TaskKind::Gemm(crate::GemmSpec::new(share, spec.mlp, spec.hidden)),
+            Affinity::Pinned(dev),
+            vec![to],
+        );
+        let down = g.add(
+            format!("e{e}.fc2"),
+            TaskKind::Gemm(crate::GemmSpec::new(share, spec.hidden, spec.mlp)),
+            Affinity::Pinned(dev),
+            vec![up],
+        );
+        // … and come back for the combine.
+        tails.push(g.add(
+            format!("e{e}.return"),
+            TaskKind::Transfer {
+                bytes: u64::from(share) * h * d,
+            },
+            Affinity::AnyAccel,
+            vec![down],
+        ));
+    }
+    g.add(
+        "combine",
+        TaskKind::Stream {
+            read_bytes: u64::from(tokens) * h * d,
+            write_bytes: u64::from(tokens) * h * d,
+            flops: u64::from(tokens) * h,
+        },
+        Affinity::AnyAccel,
+        tails,
+    );
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_ops_are_skinny_gemms_over_the_context() {
+        let spec = LlmSpec::tiny();
+        let ops = spec.decode_ops(100);
+        assert_eq!(ops.len(), 12 * spec.layers as usize);
+        for op in &ops {
+            if let Some(gemm) = op.gemm {
+                assert_eq!(gemm.m, 1, "{} is a decode GEMM", op.name);
+            }
+        }
+        // Attention reads scale with the context; MLP work does not.
+        let scores = |ctx: u32| {
+            spec.decode_ops(ctx)
+                .iter()
+                .filter(|o| o.name == "scores")
+                .map(|o| o.total_macs())
+                .sum::<u64>()
+        };
+        assert_eq!(scores(200), 2 * scores(100));
+    }
+
+    #[test]
+    fn prefill_is_an_encoder_stack() {
+        let spec = LlmSpec::tiny();
+        let ops = spec.prefill_ops(32);
+        assert_eq!(ops.len(), 12 * spec.layers as usize);
+        let one_layer: u64 = encoder_ops(32, spec.hidden, spec.heads, spec.mlp)
+            .iter()
+            .map(|o| o.total_macs())
+            .sum();
+        let stack: u64 = ops.iter().map(|o| o.total_macs()).sum();
+        assert_eq!(stack, one_layer * u64::from(spec.layers));
+    }
+
+    #[test]
+    fn prefill_graph_forks_and_joins() {
+        let g = LlmSpec::tiny().prefill_graph(3, 16);
+        assert!(g.validate(1).is_ok());
+        let roots = g.tasks().iter().filter(|t| t.deps.is_empty()).count();
+        assert_eq!(roots, 3);
+        let last = g.task(g.len() - 1);
+        assert!(matches!(last.kind, TaskKind::Barrier));
+        assert_eq!(last.deps.len(), 3);
+    }
+
+    #[test]
+    fn kv_exact_fill_does_not_evict() {
+        // The boundary case: a claim landing exactly on the budget is a
+        // fit — eviction only fires on strict overflow.
+        let mut kv = KvCache::new(2, 1024);
+        assert!(kv.claim(0, 0, 512, 0).unwrap().is_empty());
+        assert!(kv.claim(1, 0, 512, 1).unwrap().is_empty());
+        assert_eq!(kv.resident_on(0), 1024);
+        assert_eq!(kv.evictions(), 0);
+        // One more byte is pressure: the LRU victim (request 0) goes.
+        let ev = kv.claim(2, 0, 1, 2).unwrap();
+        assert_eq!(
+            ev,
+            vec![KvEvent::Evicted {
+                request: 0,
+                device: 0,
+                bytes: 512
+            }]
+        );
+        assert_eq!(kv.resident_on(0), 513);
+    }
+
+    #[test]
+    fn kv_oversized_request_is_a_typed_error() {
+        let mut kv = KvCache::new(1, 1000);
+        let err = kv.claim(7, 0, 1001, 0).unwrap_err();
+        assert_eq!(
+            err,
+            KvError::RequestExceedsSlice {
+                request: 7,
+                need: 1001,
+                budget: 1000
+            }
+        );
+        // Nothing changed; growth past the budget errors too.
+        assert_eq!(kv.resident_on(0), 0);
+        kv.claim(7, 0, 600, 1).unwrap();
+        let err = kv.claim(7, 0, 401, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            KvError::RequestExceedsSlice { need: 1001, .. }
+        ));
+        assert_eq!(kv.bytes_of(7), 600);
+    }
+
+    #[test]
+    fn kv_bad_device_is_a_typed_error() {
+        let mut kv = KvCache::new(2, 1000);
+        assert_eq!(
+            kv.claim(0, 5, 10, 0).unwrap_err(),
+            KvError::BadDevice {
+                device: 5,
+                devices: 2
+            }
+        );
+    }
+
+    #[test]
+    fn kv_eviction_bytes_saturate() {
+        // Synthetic mega-caches: evicting u64-scale segments twice must
+        // pin the counter at u64::MAX, not wrap back around.
+        let mut kv = KvCache::new(1, u64::MAX);
+        kv.claim(0, 0, u64::MAX, 0).unwrap();
+        let ev = kv.claim(1, 0, u64::MAX, 1).unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(kv.evicted_bytes(), u64::MAX);
+        let ev = kv.claim(2, 0, u64::MAX, 2).unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(kv.evicted_bytes(), u64::MAX, "saturated, not wrapped");
+        assert_eq!(kv.evictions(), 2);
+    }
+
+    #[test]
+    fn kv_victims_are_lru_and_never_self() {
+        let mut kv = KvCache::new(1, 1000);
+        kv.claim(0, 0, 400, 0).unwrap(); // oldest
+        kv.claim(1, 0, 400, 1).unwrap();
+        // Request 1 grows past the budget: request 0 is the LRU victim,
+        // request 1 never evicts itself.
+        let ev = kv.claim(1, 0, 400, 2).unwrap();
+        assert_eq!(
+            ev,
+            vec![KvEvent::Evicted {
+                request: 0,
+                device: 0,
+                bytes: 400
+            }]
+        );
+        assert_eq!(kv.bytes_of(1), 800);
+        assert_eq!(kv.resident_on(0), 800);
+    }
+
+    #[test]
+    fn kv_restore_brings_the_whole_segment_back() {
+        let mut kv = KvCache::new(1, 1000);
+        kv.claim(0, 0, 600, 0).unwrap();
+        kv.claim(1, 0, 600, 1).unwrap(); // evicts 0
+                                         // Request 0 decodes again: 1 is evicted, 0's 600 bytes restore,
+                                         // then the new token lands on top.
+        let ev = kv.claim(0, 0, 100, 2).unwrap();
+        assert_eq!(
+            ev,
+            vec![
+                KvEvent::Evicted {
+                    request: 1,
+                    device: 0,
+                    bytes: 600
+                },
+                KvEvent::Restored {
+                    request: 0,
+                    device: 0,
+                    bytes: 600
+                },
+            ]
+        );
+        assert_eq!(kv.bytes_of(0), 700);
+        assert_eq!(kv.restored_bytes(), 600);
+        assert_eq!(kv.resident_on(0), 700);
+    }
+
+    #[test]
+    fn kv_release_frees_residency() {
+        let mut kv = KvCache::new(2, 1000);
+        kv.claim(0, 1, 800, 0).unwrap();
+        assert_eq!(kv.release(0), 800);
+        assert_eq!(kv.resident_on(1), 0);
+        assert_eq!(kv.release(0), 0, "double release is harmless");
+        // The freed space is really free: a full-budget claim fits.
+        assert!(kv.claim(1, 1, 1000, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn kv_growth_stays_on_the_original_device() {
+        let mut kv = KvCache::new(2, 1000);
+        kv.claim(0, 1, 100, 0).unwrap();
+        // A later claim naming another device still grows on device 1.
+        kv.claim(0, 0, 100, 1).unwrap();
+        assert_eq!(kv.resident_on(1), 200);
+        assert_eq!(kv.resident_on(0), 0);
+    }
+
+    #[test]
+    fn speculative_graph_drafts_then_forks() {
+        let spec = LlmSpec::tiny();
+        let g = speculative_fork_verify(&spec, 32, 4, 2);
+        assert!(g.validate(2).is_ok());
+        // One root (the first draft op); the final barrier joins both
+        // verify shards.
+        let roots = g.tasks().iter().filter(|t| t.deps.is_empty()).count();
+        assert_eq!(roots, 1);
+        let last = g.task(g.len() - 1);
+        assert!(matches!(last.kind, TaskKind::Barrier));
+        assert_eq!(last.deps.len(), 2);
+        // Verify shards are pinned to distinct devices.
+        let pins: std::collections::BTreeSet<usize> = g
+            .tasks()
+            .iter()
+            .filter(|t| t.name.starts_with("verify"))
+            .filter_map(|t| match t.affinity {
+                Affinity::Pinned(d) => Some(d),
+                Affinity::AnyAccel => None,
+            })
+            .collect();
+        assert_eq!(pins.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn moe_routes_every_token_exactly_once() {
+        let spec = LlmSpec::tiny();
+        let g = moe_token_route(&spec, 10, 4, 2);
+        assert!(g.validate(2).is_ok());
+        // Expert shares: 10 tokens over 4 experts = 3, 3, 2, 2.
+        let shares: Vec<u32> = g
+            .tasks()
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TaskKind::Gemm(s) if t.name.ends_with("fc1") => Some(s.m),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shares, vec![3, 3, 2, 2]);
+        // Experts pin round-robin over the devices.
+        let pins: Vec<usize> = g
+            .tasks()
+            .iter()
+            .filter_map(|t| match (&t.kind, t.affinity) {
+                (TaskKind::Gemm(_), Affinity::Pinned(d)) if t.name.ends_with("fc1") => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pins, vec![0, 1, 0, 1]);
+        // The combine joins every expert's return transfer.
+        let last = g.task(g.len() - 1);
+        assert_eq!(last.deps.len(), 4);
+    }
+
+    #[test]
+    fn moe_skips_empty_experts() {
+        let g = moe_token_route(&LlmSpec::tiny(), 2, 8, 2);
+        assert_eq!(g.device_task_count(), 2 * 2, "only 2 experts get tokens");
+    }
+}
