@@ -6,7 +6,7 @@
 //! wall-clock goes to stderr so stdout stays byte-identical across
 //! worker counts.
 
-use accesys_bench::cli::Cli;
+use accesys_exp::cli::Cli;
 use std::time::Instant;
 
 type Runner = fn(&Cli) -> serde::Value;
@@ -62,6 +62,6 @@ fn main() {
         cli.jobs
     );
     if cli.json {
-        accesys_bench::cli::emit_json(&serde::Value::Map(combined));
+        accesys_exp::cli::emit_json(&serde::Value::Map(combined));
     }
 }

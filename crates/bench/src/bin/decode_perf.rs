@@ -20,8 +20,8 @@
 //! Flags: `--json` (machine-readable report on stdout), `--jobs`/`--full`
 //! accepted for CLI uniformity but ignored (single-point measurement).
 
-use accesys_bench::cli::Cli;
 use accesys_bench::{decode, Scale};
+use accesys_exp::cli::Cli;
 use std::time::Instant;
 
 const REPS: usize = 3;
@@ -115,7 +115,7 @@ fn main() {
     };
 
     if cli.json {
-        accesys_bench::cli::emit_json(&serde::Serialize::to_value(&report));
+        accesys_exp::cli::emit_json(&serde::Serialize::to_value(&report));
     } else {
         println!("# decode perf harness (batched decode at saturation)");
         println!("{:<34} {:>14.0}", "offered rate (req/s)", report.rate_rps);

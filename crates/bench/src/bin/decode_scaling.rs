@@ -2,7 +2,7 @@
 //! prefill/decode serving engine, arrival rate × tree shape × KV
 //! budget (extension).
 
-use accesys_bench::cli::{self, Cli};
+use accesys_exp::cli::{self, Cli};
 
 fn main() {
     let cli = Cli::from_env("decode_scaling");

@@ -3,9 +3,9 @@
 //! (paper-scale sizes, same as `ACCESYS_FULL=1`).
 
 fn main() {
-    let cli = accesys_bench::cli::Cli::from_env("energy");
+    let cli = accesys_exp::cli::Cli::from_env("energy");
     let value = accesys_bench::energy::run_cli(&cli);
     if cli.json {
-        accesys_bench::cli::emit_json(&value);
+        accesys_exp::cli::emit_json(&value);
     }
 }

@@ -16,8 +16,8 @@
 //! Flags: `--json` (machine-readable report on stdout), `--jobs`/`--full`
 //! accepted for CLI uniformity but ignored (single-kernel measurements).
 
-use accesys_bench::cli::Cli;
 use accesys_bench::{graph, Scale};
+use accesys_exp::cli::Cli;
 use std::time::Instant;
 
 const REPS: usize = 3;
@@ -87,7 +87,7 @@ fn main() {
     };
 
     if cli.json {
-        accesys_bench::cli::emit_json(&serde::Serialize::to_value(&report));
+        accesys_exp::cli::emit_json(&serde::Serialize::to_value(&report));
     } else {
         println!("# workload-graph dispatcher perf harness");
         println!("{:<34} {:>14}", "graph tasks", report.graph_tasks);

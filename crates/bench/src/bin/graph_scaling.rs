@@ -1,7 +1,7 @@
 //! Workload-graph scaling sweep: sequential chain vs pipelined
 //! multi-device schedule across switch-tree shapes (extension).
 
-use accesys_bench::cli::{self, Cli};
+use accesys_exp::cli::{self, Cli};
 
 fn main() {
     let cli = Cli::from_env("graph_scaling");

@@ -24,7 +24,7 @@
 use accesys::sim::sched::bench_support::{kernel_schedule_drain, queue_schedule_drain, SchedQueue};
 use accesys::sim::{BaselineQueue, EventQueue, Msg, Packet};
 use accesys::{Simulation, SystemConfig};
-use accesys_bench::cli::Cli;
+use accesys_exp::cli::Cli;
 use accesys_mem::MemTech;
 use accesys_workload::GemmSpec;
 use std::time::Instant;
@@ -145,7 +145,7 @@ fn main() {
     };
 
     if cli.json {
-        accesys_bench::cli::emit_json(&serde::Serialize::to_value(&report));
+        accesys_exp::cli::emit_json(&serde::Serialize::to_value(&report));
     } else {
         println!("# kernel perf harness");
         println!(

@@ -7,7 +7,7 @@
 //! byte-identical across worker counts.
 
 use accesys::{Simulation, SystemConfig};
-use accesys_bench::cli::Cli;
+use accesys_exp::cli::Cli;
 use accesys_exp::{Experiment, Grid};
 use accesys_mem::MemTech;
 use accesys_workload::GemmSpec;
@@ -73,7 +73,7 @@ fn main() {
     )
     .sweep(|&(bw, pkt)| probe_one(bw, pkt))
     .run(cli.jobs);
-    accesys_bench::cli::note_wall(&result);
+    accesys_exp::cli::note_wall(&result);
 
     let mut failures = 0u32;
     for ((bw, pkt), point) in &result.points {
@@ -93,7 +93,7 @@ fn main() {
         }
     }
     if cli.json {
-        accesys_bench::cli::emit_json(&serde::Serialize::to_value(&result));
+        accesys_exp::cli::emit_json(&serde::Serialize::to_value(&result));
     }
     // CI uses this bin as a smoke gate: a failing configuration must fail
     // the run, not just print a diagnostic.

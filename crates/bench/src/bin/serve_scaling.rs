@@ -1,7 +1,7 @@
 //! Online-serving sweep: open-loop Poisson traffic through the
 //! continuous-batching engine, arrival rate × tree shape (extension).
 
-use accesys_bench::cli::{self, Cli};
+use accesys_exp::cli::{self, Cli};
 
 fn main() {
     let cli = Cli::from_env("serve_scaling");

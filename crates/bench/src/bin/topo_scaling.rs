@@ -1,6 +1,6 @@
 //! Topology-scaling sweep: switch-tree depth × fan-out (extension).
 
-use accesys_bench::cli::{self, Cli};
+use accesys_exp::cli::{self, Cli};
 
 fn main() {
     let cli = Cli::from_env("topo_scaling");

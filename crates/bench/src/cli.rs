@@ -1,186 +1,9 @@
 //! Shared command-line interface of the experiment binaries.
 //!
-//! Every bin accepts the same flags:
-//!
-//! * `--jobs N` / `-j N` — worker threads for the sweep (default:
-//!   `ACCESYS_JOBS`, else all cores),
-//! * `--json` — emit the machine-readable sweep result on stdout instead
-//!   of the human table,
-//! * `--full` — paper-scale workload sizes (same as `ACCESYS_FULL=1`).
-//!
-//! Wall-clock notes always go to **stderr**, so stdout stays
-//! byte-identical between `--jobs 1` and `--jobs N` runs.
+//! The parsing itself lives in [`accesys_exp::cli`] — one typed
+//! `--jobs/--json/--full` front-end shared by every bin in the
+//! workspace (including the `accesys` spec runner) instead of the
+//! per-crate copies the drivers used to carry. This module re-exports
+//! it so `crate::cli::Cli` keeps working for the driver modules.
 
-use crate::Scale;
-use accesys_exp::{Experiment, Jobs, SweepResult};
-
-/// Parsed command-line options shared by every experiment bin.
-#[derive(Clone, Debug)]
-pub struct Cli {
-    /// Workload scale.
-    pub scale: Scale,
-    /// Sweep worker count.
-    pub jobs: Jobs,
-    /// Emit JSON on stdout instead of the human-readable table.
-    pub json: bool,
-}
-
-impl Cli {
-    /// Options for library callers: given scale and jobs, table output.
-    pub fn new(scale: Scale, jobs: Jobs) -> Cli {
-        Cli {
-            scale,
-            jobs,
-            json: false,
-        }
-    }
-
-    /// Parse `std::env::args`, honouring `ACCESYS_FULL` / `ACCESYS_JOBS`
-    /// as defaults. Prints usage and exits on `--help` or a bad flag.
-    pub fn from_env(bin: &str) -> Cli {
-        match Cli::parse(std::env::args().skip(1)) {
-            Ok(cli) => cli,
-            Err(ParseOutcome::Help) => {
-                println!("{}", usage(bin));
-                std::process::exit(0);
-            }
-            Err(ParseOutcome::Bad(msg)) => {
-                eprintln!("{bin}: {msg}\n\n{}", usage(bin));
-                std::process::exit(2);
-            }
-        }
-    }
-
-    fn parse(args: impl Iterator<Item = String>) -> Result<Cli, ParseOutcome> {
-        let mut cli = Cli {
-            scale: Scale::from_env(),
-            jobs: Jobs::from_env(),
-            json: false,
-        };
-        let mut args = args.peekable();
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--help" | "-h" => return Err(ParseOutcome::Help),
-                "--json" => cli.json = true,
-                "--full" => cli.scale = Scale::Paper,
-                "--jobs" | "-j" => {
-                    let value = args
-                        .next()
-                        .ok_or_else(|| ParseOutcome::Bad(format!("{arg} needs a value")))?;
-                    cli.jobs = parse_jobs(&value)?;
-                }
-                other => {
-                    if let Some(value) = other.strip_prefix("--jobs=") {
-                        cli.jobs = parse_jobs(value)?;
-                    } else {
-                        return Err(ParseOutcome::Bad(format!("unknown argument `{other}`")));
-                    }
-                }
-            }
-        }
-        Ok(cli)
-    }
-}
-
-enum ParseOutcome {
-    Help,
-    Bad(String),
-}
-
-fn parse_jobs(value: &str) -> Result<Jobs, ParseOutcome> {
-    match value.parse::<usize>() {
-        Ok(n) if n > 0 => Ok(Jobs::new(n)),
-        _ => Err(ParseOutcome::Bad(format!(
-            "--jobs needs a positive integer, got `{value}`"
-        ))),
-    }
-}
-
-fn usage(bin: &str) -> String {
-    format!(
-        "usage: {bin} [--jobs N] [--json] [--full]\n\
-         \n\
-         --jobs N, -j N  run the sweep on N worker threads\n\
-         \x20                (default: ACCESYS_JOBS, else all cores)\n\
-         --json          emit the machine-readable sweep result on stdout\n\
-         --full          paper-scale workload sizes where applicable\n\
-         \x20                (same as ACCESYS_FULL=1; scale-independent\n\
-         \x20                bins such as probe/table2/table3 ignore it)\n\
-         --help, -h      show this help"
-    )
-}
-
-/// Run `exp` at the CLI's settings: note wall-clock on stderr, invoke
-/// `print` with the result unless `--json`, and return the
-/// machine-readable sweep value — the shared shape of every
-/// single-sweep driver's `run_cli`.
-pub fn run_sweep_cli<E>(
-    cli: &Cli,
-    exp: &E,
-    print: impl FnOnce(&SweepResult<E::Point, E::Out>),
-) -> serde::Value
-where
-    E: Experiment,
-    E::Point: serde::Serialize,
-    E::Out: serde::Serialize,
-{
-    let result = exp.run(cli.jobs);
-    note_wall(&result);
-    if !cli.json {
-        print(&result);
-    }
-    serde::Serialize::to_value(&result)
-}
-
-/// Report a finished sweep's wall-clock on stderr (never stdout, so
-/// table/JSON output stays byte-identical across worker counts).
-pub fn note_wall<P, O>(result: &SweepResult<P, O>) {
-    eprintln!(
-        "# {}: {} points in {:.2}s (jobs={})",
-        result.name,
-        result.points.len(),
-        result.wall_secs(),
-        result.jobs
-    );
-}
-
-/// Print `value` as indented JSON on stdout.
-pub fn emit_json(value: &serde::Value) {
-    println!(
-        "{}",
-        serde_json::to_string_pretty(value).expect("sweep results serialize")
-    );
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn parse(args: &[&str]) -> Cli {
-        match Cli::parse(args.iter().map(|s| s.to_string())) {
-            Ok(cli) => cli,
-            Err(_) => panic!("args {args:?} must parse"),
-        }
-    }
-
-    #[test]
-    fn flags_parse() {
-        let cli = parse(&["--jobs", "3", "--json", "--full"]);
-        assert_eq!(cli.jobs.get(), 3);
-        assert!(cli.json);
-        assert_eq!(cli.scale, Scale::Paper);
-    }
-
-    #[test]
-    fn jobs_equals_form_parses() {
-        assert_eq!(parse(&["--jobs=7"]).jobs.get(), 7);
-        assert_eq!(parse(&["-j", "2"]).jobs.get(), 2);
-    }
-
-    #[test]
-    fn bad_flags_are_rejected() {
-        assert!(Cli::parse(["--nope".to_string()].into_iter()).is_err());
-        assert!(Cli::parse(["--jobs".to_string()].into_iter()).is_err());
-        assert!(Cli::parse(["--jobs".to_string(), "zero".to_string()].into_iter()).is_err());
-    }
-}
+pub use accesys_exp::cli::{emit_json, note_wall, run_sweep_cli, usage, Cli, CliError};

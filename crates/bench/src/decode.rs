@@ -8,79 +8,63 @@
 //! growing in each leaf's `devmem` slice. Each point serves the same
 //! seeded Poisson trace twice on the same tree:
 //!
-//! * **batched** — continuous batching up to `2 × endpoints` requests
-//!   in flight: prefills fold in at round barriers next to the veterans'
-//!   decode slices.
+//! * **batched** — continuous batching up to the policy's cap
+//!   (`2 × endpoints` for `batch_cap = "auto"`): prefills fold in at
+//!   round barriers next to the veterans' decode slices.
 //! * **sequential** — the same engine clamped to one request in flight:
 //!   prefill, decode to EOS, only then look at the queue again.
 //!
 //! The third axis is the per-device KV budget: **ample** (slices never
-//! fill) vs **tight** (1.5 requests' worth — concurrent decoders must
-//! evict each other, and the pressure shows up as host-memory
-//! `Transfer` traffic in the row). The `decode_perf` bin turns the
+//! fill) vs **tight** (a fraction over one request's worth — concurrent
+//! decoders must evict each other, and the pressure shows up as
+//! host-memory `Transfer` traffic in the row). The testbed, request
+//! shape, traffic, policy, budgets and sweep axes lower from the
+//! committed `specs/llm_decode.spec`; the `decode_perf` bin turns the
 //! saturation goodput ratio into a CI bar.
 
 use crate::cli::Cli;
 use crate::topo::parse_shape;
-use crate::Scale;
-use accesys::topology::{switch_tree_with, EndpointOptions};
-use accesys::{MemBackendConfig, Simulation, SystemConfig};
+use crate::{specs, Scale};
 use accesys_exp::{Experiment, Grid, Jobs};
-use accesys_mem::MemTech;
-use accesys_serve::{
-    serve_llm, ArrivalSpec, LlmRequestShape, LlmServeConfig, LlmServeReport, Policy,
-};
-use accesys_workload::llm::LlmSpec;
+use accesys_serve::{serve_llm, LlmRequestShape, LlmServeConfig, LlmServeReport};
+use accesys_spec::DecodeScenario;
 
-/// Tree shapes swept: one leaf (no batching headroom) to four.
-pub const SHAPES: [&str; 3] = ["1", "2", "2x2"];
-
-/// KV-budget regimes swept: `ample` never fills a slice, `tight` holds
-/// 1.5 requests' worth so concurrent decoders thrash.
-pub const BUDGETS: [&str; 2] = ["ample", "tight"];
-
-/// Arrival-trace seed: every point serves the same seeded traffic.
-pub const SEED: u64 = 0xDEC0DE;
+/// The committed scenario this sweep lowers from.
+pub fn scenario() -> &'static DecodeScenario {
+    specs::decode()
+}
 
 /// Offered arrival rates swept, requests per second: below every
 /// shape's saturation, past the one-leaf knee, and past it everywhere.
-pub fn rates(_scale: Scale) -> [f64; 3] {
-    [50.0, 200.0, 2000.0]
+pub fn rates(_scale: Scale) -> Vec<f64> {
+    scenario().rates.clone()
 }
 
 /// Trace horizon in virtual nanoseconds.
 pub fn horizon_ns(scale: Scale) -> u64 {
-    scale.pick(50_000_000, 250_000_000)
+    scenario().traffic.horizon_ns.pick(scale)
 }
 
 /// The request every client sends: a tiny two-layer autoregressive
-/// model, 12-token prompt, 6 generated tokens — 7 rounds per request,
+/// model, short prompt, a handful of generated tokens —
 /// compute-dominated so serving stresses the scheduler and the KV
 /// model, not streaming bandwidth.
 pub fn request_shape(_scale: Scale) -> LlmRequestShape {
-    LlmRequestShape {
-        spec: LlmSpec::tiny(),
-        prompt: 12,
-        decode: 6,
-    }
+    scenario().request
 }
 
 /// The per-device KV budget of a named regime, in bytes.
 pub fn kv_budget(budget: &str, shape: &LlmRequestShape) -> u64 {
-    match budget {
-        // Never fills: dozens of requests fit a slice.
-        "ample" => 1 << 20,
-        // 1.5 requests' worth: any two concurrent decoders must evict
-        // each other (capacity pressure by construction).
-        "tight" => shape.max_kv_bytes() * 3 / 2,
-        other => panic!("unknown KV budget regime {other:?}"),
-    }
+    scenario()
+        .kv
+        .budget_bytes(budget, shape)
+        .unwrap_or_else(|| panic!("unknown KV budget regime {budget:?}"))
 }
 
 /// Latency SLO (arrival → EOS): completions slower than this do not
 /// count as goodput.
 pub fn slo_ns(_scale: Scale) -> f64 {
-    50e6
+    scenario().policy.slo_ns
 }
 
 /// One decode-serving measurement: one arrival rate on one tree shape
@@ -134,50 +118,54 @@ pub struct DecodeRow {
     pub goodput_gain: f64,
 }
 
-/// The serving testbed: the [`crate::serve`] tree (per-leaf local
-/// memory), but with a 10× faster per-op compute override — decode
-/// requests run 7 rounds of skinny GEMMs, so per-request service has
-/// to stay well under the trace horizon for the open-loop regimes to
-/// separate cleanly.
-fn tree_sim(levels: &[u32]) -> Simulation {
-    let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4).with_compute_override_ns(5_000.0);
-    cfg.smmu = None;
-    let spec = switch_tree_with(&cfg, levels, |_| EndpointOptions {
-        accel: None,
-        dev_mem: Some(MemBackendConfig::Dram(MemTech::Hbm2)),
-    })
-    .expect("swept shapes are valid");
-    Simulation::from_topology(cfg, &spec).expect("valid topology")
-}
-
 /// Serve the point's trace once at `batch_cap` requests in flight.
 fn serve_once(
+    sc: &DecodeScenario,
     rate: f64,
     levels: &[u32],
     batch_cap: usize,
     budget_bytes: u64,
     scale: Scale,
 ) -> LlmServeReport {
-    let arrivals = ArrivalSpec::poisson(rate, 2, SEED).generate(horizon_ns(scale));
-    let mut sim = tree_sim(levels);
+    let arrivals = sc.traffic.arrivals(rate, scale);
+    let mut sim = sc
+        .system
+        .simulation(levels)
+        .expect("validated spec testbed builds");
     serve_llm(
         &mut sim,
-        &request_shape(scale),
+        &sc.request,
         &arrivals,
-        &Policy::round_robin(),
-        &LlmServeConfig::new(batch_cap, 32, budget_bytes).with_slo_ns(slo_ns(scale)),
+        &sc.policy.policy(),
+        &LlmServeConfig::new(batch_cap, sc.policy.queue_cap, budget_bytes)
+            .with_slo_ns(sc.policy.slo_ns),
     )
     .expect("decode serving completes")
 }
 
 /// Measure one (rate, shape, budget) point: batched vs sequential.
 pub fn measure(rate: f64, shape: &str, budget: &str, scale: Scale) -> DecodeRow {
+    measure_for(scenario(), rate, shape, budget, scale)
+}
+
+/// Measure one (rate, shape, budget) point of an arbitrary decode
+/// scenario.
+pub fn measure_for(
+    sc: &DecodeScenario,
+    rate: f64,
+    shape: &str,
+    budget: &str,
+    scale: Scale,
+) -> DecodeRow {
     let levels = parse_shape(shape);
     let endpoints: u32 = levels.iter().product();
-    let req = request_shape(scale);
-    let budget_bytes = kv_budget(budget, &req);
-    let batched = serve_once(rate, &levels, endpoints as usize * 2, budget_bytes, scale);
-    let sequential = serve_once(rate, &levels, 1, budget_bytes, scale);
+    let budget_bytes = sc
+        .kv
+        .budget_bytes(budget, &sc.request)
+        .unwrap_or_else(|| panic!("unknown KV budget regime {budget:?}"));
+    let batch_cap = sc.policy.batch_cap.cap(endpoints);
+    let batched = serve_once(sc, rate, &levels, batch_cap, budget_bytes, scale);
+    let sequential = serve_once(sc, rate, &levels, 1, budget_bytes, scale);
     let gain = if sequential.goodput_rps > 0.0 {
         batched.goodput_rps / sequential.goodput_rps
     } else if batched.goodput_rps > 0.0 {
@@ -214,13 +202,22 @@ pub fn measure(rate: f64, shape: &str, budget: &str, scale: Scale) -> DecodeRow 
 /// The sweep as a declarative experiment: rate × shape × budget,
 /// row-major.
 pub fn experiment(scale: Scale) -> impl Experiment<Point = (f64, String, String), Out = DecodeRow> {
+    experiment_for(scenario(), scale)
+}
+
+/// `sc` as a declarative experiment (the `accesys run` entry point).
+pub fn experiment_for(
+    sc: &DecodeScenario,
+    scale: Scale,
+) -> impl Experiment<Point = (f64, String, String), Out = DecodeRow> {
+    let sc = sc.clone();
     Grid::cross3(
-        "decode_scaling",
-        rates(scale),
-        SHAPES.map(String::from),
-        BUDGETS.map(String::from),
+        sc.name.clone(),
+        sc.rates.clone(),
+        sc.shapes.clone(),
+        sc.budgets.clone(),
     )
-    .sweep(move |(rate, shape, budget)| measure(*rate, shape, budget, scale))
+    .sweep(move |(rate, shape, budget)| measure_for(&sc, *rate, shape, budget, scale))
 }
 
 /// Run the sweep on `jobs` workers.
@@ -236,8 +233,14 @@ pub fn run(scale: Scale) -> Vec<DecodeRow> {
 /// Run at the CLI's settings; print the table unless `--json`; return
 /// the machine-readable sweep value.
 pub fn run_cli(cli: &Cli) -> serde::Value {
-    crate::cli::run_sweep_cli(cli, &experiment(cli.scale), |r| {
-        print(
+    run_cli_for(scenario(), cli)
+}
+
+/// [`run_cli`] against an arbitrary loaded scenario.
+pub fn run_cli_for(sc: &DecodeScenario, cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment_for(sc, cli.scale), |r| {
+        print_for(
+            sc,
             &r.points.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
             cli.scale,
         )
@@ -253,7 +256,12 @@ pub fn run_and_print(scale: Scale) -> Vec<DecodeRow> {
 
 /// Print the decode table.
 pub fn print(rows: &[DecodeRow], scale: Scale) {
-    let s = request_shape(scale);
+    print_for(scenario(), rows, scale)
+}
+
+/// Print the decode table of an arbitrary decode scenario.
+pub fn print_for(sc: &DecodeScenario, rows: &[DecodeRow], _scale: Scale) {
+    let s = sc.request;
     println!(
         "# Batched decode (extension): {}-token prompts, {} generated \
          tokens (hidden {}, {} layers), Poisson 2-tenant traffic, \
@@ -262,7 +270,7 @@ pub fn print(rows: &[DecodeRow], scale: Scale) {
         s.decode,
         s.spec.hidden,
         s.spec.layers,
-        slo_ns(scale) / 1e6
+        sc.policy.slo_ns / 1e6
     );
     println!(
         "{:>6} {:>6} {:>6} {:>8} {:>6} {:>7} {:>9} {:>10} {:>10} {:>8} {:>9} {:>9} {:>6}",

@@ -2,29 +2,37 @@
 //! time vs systolic-array compute time at a fixed 8 GB/s PCIe link.
 //! The paper reports a compute-bound plateau below ≈1500 ns per tile and
 //! a memory-bound linear region above it.
+//!
+//! The testbed, matrix sizes and swept axis all lower from the
+//! committed `specs/paper_baseline.spec`; this module only measures.
 
 use crate::cli::Cli;
-use crate::Scale;
+use crate::{specs, Scale};
 use accesys::analytic::{roofline_knee, RooflinePoint};
-use accesys::{Simulation, SystemConfig};
 use accesys_exp::{Experiment, Grid, Jobs};
-use accesys_mem::MemTech;
+use accesys_spec::{RooflineScenario, SystemSpec};
 use accesys_workload::GemmSpec;
 
-/// Compute times swept, in ns per output tile (full-k reduction).
-pub const COMPUTE_NS: [f64; 10] = [
-    100.0, 250.0, 500.0, 750.0, 1000.0, 1500.0, 2000.0, 3000.0, 4500.0, 6000.0,
-];
+/// The committed scenario this figure lowers from.
+pub fn scenario() -> &'static RooflineScenario {
+    specs::roofline()
+}
 
 /// Matrix size at each scale (paper: 1024).
 pub fn matrix_size(scale: Scale) -> u32 {
-    scale.pick(256, 1024)
+    scenario().matrix.pick(scale)
 }
 
-/// Measure one roofline point.
+/// Measure one roofline point on the committed testbed.
 pub fn measure(compute_ns: f64, matrix: u32) -> RooflinePoint {
-    let cfg = SystemConfig::pcie_host(8.0, MemTech::Ddr4).with_compute_override_ns(compute_ns);
-    let mut sim = Simulation::new(cfg).expect("valid config");
+    measure_on(&scenario().system, compute_ns, matrix)
+}
+
+/// Measure one roofline point on `system`.
+pub fn measure_on(system: &SystemSpec, compute_ns: f64, matrix: u32) -> RooflinePoint {
+    let mut sim = system
+        .host_simulation(compute_ns)
+        .expect("validated spec testbed builds");
     let exec_ns = sim
         .run_gemm(GemmSpec::square(matrix))
         .expect("gemm completes")
@@ -35,10 +43,21 @@ pub fn measure(compute_ns: f64, matrix: u32) -> RooflinePoint {
     }
 }
 
-/// The figure as a declarative experiment over [`COMPUTE_NS`].
+/// The figure as a declarative experiment over the scenario's swept
+/// compute times.
 pub fn experiment(scale: Scale) -> impl Experiment<Point = f64, Out = RooflinePoint> {
-    let matrix = matrix_size(scale);
-    Grid::new("fig2", COMPUTE_NS).sweep(move |&c| measure(c, matrix))
+    experiment_for(scenario(), scale)
+}
+
+/// `sc` as a declarative experiment (the `accesys run` entry point).
+pub fn experiment_for(
+    sc: &RooflineScenario,
+    scale: Scale,
+) -> impl Experiment<Point = f64, Out = RooflinePoint> {
+    let matrix = sc.matrix.pick(scale);
+    let system = sc.system.clone();
+    Grid::new(sc.name.clone(), sc.compute_ns.clone())
+        .sweep(move |&c| measure_on(&system, c, matrix))
 }
 
 /// Run the sweep on `jobs` workers.
@@ -54,8 +73,14 @@ pub fn run(scale: Scale) -> Vec<RooflinePoint> {
 /// Run at the CLI's settings; print the table unless `--json`; return
 /// the machine-readable sweep value.
 pub fn run_cli(cli: &Cli) -> serde::Value {
-    crate::cli::run_sweep_cli(cli, &experiment(cli.scale), |r| {
-        print(
+    run_cli_for(scenario(), cli)
+}
+
+/// [`run_cli`] against an arbitrary loaded scenario.
+pub fn run_cli_for(sc: &RooflineScenario, cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment_for(sc, cli.scale), |r| {
+        print_for(
+            sc,
             &r.points.iter().map(|(_, p)| *p).collect::<Vec<_>>(),
             cli.scale,
         )
@@ -71,13 +96,20 @@ pub fn run_and_print(scale: Scale) -> Vec<RooflinePoint> {
 
 /// Print the figure's series.
 pub fn print(points: &[RooflinePoint], scale: Scale) {
+    print_for(scenario(), points, scale)
+}
+
+/// Print the series of an arbitrary roofline scenario.
+pub fn print_for(sc: &RooflineScenario, points: &[RooflinePoint], scale: Scale) {
     let min = points
         .iter()
         .map(|p| p.exec_ns)
         .fold(f64::INFINITY, f64::min);
     println!(
-        "# Fig 2: roofline, matrix {}, PCIe 8 GB/s",
-        matrix_size(scale)
+        "# {}: roofline, matrix {}, PCIe {} GB/s",
+        sc.name,
+        sc.matrix.pick(scale),
+        sc.system.link_gbps
     );
     println!(
         "{:>14} {:>14} {:>12}",
@@ -112,5 +144,15 @@ mod tests {
         assert!(plateau_ratio < 1.15, "plateau ratio {plateau_ratio}");
         // Far right: compute dominates and scales roughly linearly.
         assert!(slow.exec_ns > 2.0 * fast.exec_ns);
+    }
+
+    #[test]
+    fn the_committed_spec_pins_the_paper_testbed() {
+        let sc = scenario();
+        assert_eq!(sc.name, "fig2");
+        assert_eq!(sc.system.link_gbps, 8.0);
+        assert_eq!(sc.matrix.pick(Scale::Quick), 256);
+        assert_eq!(sc.matrix.pick(Scale::Paper), 1024);
+        assert_eq!(sc.compute_ns.len(), 10);
     }
 }

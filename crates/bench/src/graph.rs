@@ -11,34 +11,36 @@
 //! scheduling win the dispatcher extracts from the hardware the
 //! topology already paid for.
 //!
-//! Each leaf carries local device memory for its working set, so job
-//! DMA does not serialize on the shared uplink and the pipeline's
-//! speedup reflects scheduling, not link contention.
+//! The testbed, encoder geometry and swept shapes lower from the
+//! committed `specs/pipelined_encoder.spec`. Each leaf carries local
+//! device memory for its working set, so job DMA does not serialize on
+//! the shared uplink and the pipeline's speedup reflects scheduling,
+//! not link contention.
 
 use crate::cli::Cli;
 use crate::topo::parse_shape;
-use crate::Scale;
-use accesys::topology::{switch_tree_with, EndpointOptions};
-use accesys::{MemBackendConfig, Simulation, SystemConfig};
+use crate::{specs, Scale};
 use accesys_exp::{Experiment, Grid, Jobs};
-use accesys_mem::MemTech;
+use accesys_spec::PipelineScenario;
 use accesys_workload::encoder_ops;
 use accesys_workload::graph::{op_chain, pipelined_encoder, PipelineSpec};
 
-/// Tree shapes swept (per-level fan-outs, `x`-separated, as in
-/// [`crate::topo::SHAPES`]): from the single-device Fig. 1 shape to a
-/// depth-2 eight-leaf tree.
-pub const SHAPES: [&str; 5] = ["1", "2", "4", "2x2", "2x4"];
+/// The committed scenario this sweep lowers from.
+pub fn scenario() -> &'static PipelineScenario {
+    specs::pipeline()
+}
 
 /// Encoder geometry at each scale: `(seq, hidden, heads, mlp)` —
 /// scaled-down synthetic dims for quick runs, ViT-Base for paper scale.
 pub fn encoder_dims(scale: Scale) -> (u32, u32, u32, u32) {
-    scale.pick((64, 128, 4, 512), (197, 768, 12, 3072))
+    let d = scenario().dims.pick(scale);
+    (d.seq, d.hidden, d.heads, d.mlp)
 }
 
 /// Pipeline workload at each scale: `(layers, images)`.
 pub fn workload_size(scale: Scale) -> (u32, u32) {
-    scale.pick((8, 4), (12, 8))
+    let sc = scenario();
+    (sc.layers.pick(scale), sc.images.pick(scale))
 }
 
 /// One schedule-shape measurement on one tree shape.
@@ -65,47 +67,55 @@ pub struct GraphRow {
     pub speedup: f64,
 }
 
-/// The compute-dominated tree every point runs on: per-leaf local
-/// memory (job DMA stays off the shared uplink), fixed per-job compute.
-fn tree_sim(levels: &[u32]) -> Simulation {
-    let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4).with_compute_override_ns(50_000.0);
-    cfg.smmu = None;
-    let spec = switch_tree_with(&cfg, levels, |_| EndpointOptions {
-        accel: None,
-        dev_mem: Some(MemBackendConfig::Dram(MemTech::Hbm2)),
-    })
-    .expect("swept shapes are valid");
-    Simulation::from_topology(cfg, &spec).expect("valid topology")
+/// The pipeline workload of `sc` on a tree with `endpoints` leaves.
+fn pipeline_graph(
+    sc: &PipelineScenario,
+    endpoints: u32,
+    scale: Scale,
+) -> accesys_workload::graph::TaskGraph {
+    let d = sc.dims.pick(scale);
+    pipelined_encoder(
+        d.seq,
+        d.hidden,
+        d.heads,
+        d.mlp,
+        &PipelineSpec {
+            layers: sc.layers.pick(scale),
+            images: sc.images.pick(scale),
+            devices: sc.device_count(endpoints),
+        },
+    )
 }
 
-/// Measure one tree shape under both schedules.
+/// Measure one tree shape under both schedules (committed scenario).
 pub fn measure(shape: &str, scale: Scale) -> GraphRow {
+    measure_for(scenario(), shape, scale)
+}
+
+/// Measure one tree shape under both of `sc`'s schedules.
+pub fn measure_for(sc: &PipelineScenario, shape: &str, scale: Scale) -> GraphRow {
     let levels = parse_shape(shape);
     let endpoints: u32 = levels.iter().product();
-    let (seq, hidden, heads, mlp) = encoder_dims(scale);
-    let (layers, images) = workload_size(scale);
+    let d = sc.dims.pick(scale);
+    let (layers, images) = (sc.layers.pick(scale), sc.images.pick(scale));
 
     // Sequential chain: the same total work as one flat op list.
     let chain_ops: Vec<_> = (0..images * layers)
-        .flat_map(|_| encoder_ops(seq, hidden, heads, mlp))
+        .flat_map(|_| encoder_ops(d.seq, d.hidden, d.heads, d.mlp))
         .collect();
-    let sequential = tree_sim(&levels)
+    let sequential = sc
+        .system
+        .simulation(&levels)
+        .expect("validated spec testbed builds")
         .run_graph(&op_chain(&chain_ops))
         .expect("chain completes");
 
     // Pipelined: layers split into per-leaf stages, images in flight.
-    let pipeline = pipelined_encoder(
-        seq,
-        hidden,
-        heads,
-        mlp,
-        &PipelineSpec {
-            layers,
-            images,
-            devices: endpoints as usize,
-        },
-    );
-    let (pipelined, plan) = tree_sim(&levels)
+    let pipeline = pipeline_graph(sc, endpoints, scale);
+    let (pipelined, plan) = sc
+        .system
+        .simulation(&levels)
+        .expect("validated spec testbed builds")
         .run_graph_planned(&pipeline)
         .expect("pipeline completes");
 
@@ -129,29 +139,29 @@ pub fn instrumented_pipeline_run(
     shape: &str,
     scale: Scale,
 ) -> (accesys::VitReport, accesys::DispatchPlan) {
+    let sc = scenario();
     let levels = parse_shape(shape);
     let endpoints: u32 = levels.iter().product();
-    let (seq, hidden, heads, mlp) = encoder_dims(scale);
-    let (layers, images) = workload_size(scale);
-    let pipeline = pipelined_encoder(
-        seq,
-        hidden,
-        heads,
-        mlp,
-        &PipelineSpec {
-            layers,
-            images,
-            devices: endpoints as usize,
-        },
-    );
-    tree_sim(&levels)
+    let pipeline = pipeline_graph(sc, endpoints, scale);
+    sc.system
+        .simulation(&levels)
+        .expect("validated spec testbed builds")
         .run_graph_planned(&pipeline)
         .expect("pipeline completes")
 }
 
-/// The sweep as a declarative experiment over [`SHAPES`].
+/// The sweep as a declarative experiment over the scenario's shapes.
 pub fn experiment(scale: Scale) -> impl Experiment<Point = String, Out = GraphRow> {
-    Grid::new("graph_scaling", SHAPES.map(String::from)).sweep(move |s| measure(s, scale))
+    experiment_for(scenario(), scale)
+}
+
+/// `sc` as a declarative experiment (the `accesys run` entry point).
+pub fn experiment_for(
+    sc: &PipelineScenario,
+    scale: Scale,
+) -> impl Experiment<Point = String, Out = GraphRow> {
+    let sc = sc.clone();
+    Grid::new(sc.name.clone(), sc.shapes.clone()).sweep(move |s| measure_for(&sc, s, scale))
 }
 
 /// Run the sweep on `jobs` workers.
@@ -167,8 +177,14 @@ pub fn run(scale: Scale) -> Vec<GraphRow> {
 /// Run at the CLI's settings; print the table unless `--json`; return
 /// the machine-readable sweep value.
 pub fn run_cli(cli: &Cli) -> serde::Value {
-    crate::cli::run_sweep_cli(cli, &experiment(cli.scale), |r| {
-        print(
+    run_cli_for(scenario(), cli)
+}
+
+/// [`run_cli`] against an arbitrary loaded scenario.
+pub fn run_cli_for(sc: &PipelineScenario, cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment_for(sc, cli.scale), |r| {
+        print_for(
+            sc,
             &r.points.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
             cli.scale,
         )
@@ -184,11 +200,17 @@ pub fn run_and_print(scale: Scale) -> Vec<GraphRow> {
 
 /// Print the scaling table.
 pub fn print(rows: &[GraphRow], scale: Scale) {
-    let (layers, images) = workload_size(scale);
-    let (seq, hidden, heads, mlp) = encoder_dims(scale);
+    print_for(scenario(), rows, scale)
+}
+
+/// Print the scaling table of an arbitrary pipeline scenario.
+pub fn print_for(sc: &PipelineScenario, rows: &[GraphRow], scale: Scale) {
+    let (layers, images) = (sc.layers.pick(scale), sc.images.pick(scale));
+    let d = sc.dims.pick(scale);
     println!(
         "# Workload-graph scaling (extension): {layers}-layer encoder \
-         ({seq}x{hidden}, {heads} heads, mlp {mlp}), {images} images"
+         ({}x{}, {} heads, mlp {}), {images} images",
+        d.seq, d.hidden, d.heads, d.mlp
     );
     println!(
         "{:>8} {:>6} {:>10} {:>7} {:>10} {:>6} {:>16} {:>15} {:>9}",

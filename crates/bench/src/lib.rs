@@ -35,6 +35,7 @@ pub mod fig9;
 pub mod graph;
 pub mod scale;
 pub mod serve;
+pub mod specs;
 pub mod table2;
 pub mod table3;
 pub mod table4;

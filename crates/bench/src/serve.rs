@@ -3,48 +3,46 @@
 //!
 //! Every other experiment in this crate is closed-loop: a fixed
 //! workload, a makespan. This one is open-loop — requests arrive on
-//! their own clock ([`ArrivalSpec::poisson`], seeded, two tenants) and
-//! the measured quantities are the serving ones: p50/p99/p99.9 latency,
-//! goodput under an SLO, rejections past the admission bound. Each
-//! point serves the same trace twice on the same tree:
+//! their own clock (seeded Poisson, two tenants) and the measured
+//! quantities are the serving ones: p50/p99/p99.9 latency, goodput
+//! under an SLO, rejections past the admission bound. Each point
+//! serves the same trace twice on the same tree:
 //!
-//! * **batched** — continuous batching up to `2 × endpoints` requests
-//!   in flight, folded in and out at round barriers (round-robin across
-//!   tenants);
+//! * **batched** — continuous batching up to the policy's cap
+//!   (`2 × endpoints` for `batch_cap = "auto"`), folded in and out at
+//!   round barriers (round-robin across tenants);
 //! * **sequential** — the same engine clamped to one request in flight,
 //!   which is exactly what the pre-serving sequential drivers would do:
 //!   finish a request end to end before looking at the queue again.
 //!
-//! The ratio of saturation goodput between the two is the win the
-//! serving layer extracts from hardware the topology already paid for;
-//! the `serve_perf` bin turns it into a CI bar.
+//! The testbed, request shape, traffic, policy and sweep axes lower
+//! from the committed `specs/two_tenant_mix.spec`. The ratio of
+//! saturation goodput between the two regimes is the win the serving
+//! layer extracts from hardware the topology already paid for; the
+//! `serve_perf` bin turns it into a CI bar.
 
 use crate::cli::Cli;
 use crate::topo::parse_shape;
-use crate::Scale;
-use accesys::topology::{switch_tree_with, EndpointOptions};
-use accesys::{MemBackendConfig, Simulation, SystemConfig};
+use crate::{specs, Scale};
 use accesys_exp::{Experiment, Grid, Jobs};
-use accesys_mem::MemTech;
-use accesys_serve::{serve, ArrivalSpec, Policy, RequestShape, ServeConfig, ServeReport};
+use accesys_serve::{serve, RequestShape, ServeConfig, ServeReport};
+use accesys_spec::ServingScenario;
 
-/// Tree shapes swept: one leaf (no batching headroom) to four.
-pub const SHAPES: [&str; 3] = ["1", "2", "2x2"];
+/// The committed scenario this sweep lowers from.
+pub fn scenario() -> &'static ServingScenario {
+    specs::serving()
+}
 
-/// Arrival-trace seed: every point serves the same seeded traffic.
-pub const SEED: u64 = 0xACCE5;
-
-/// Offered arrival rates swept, requests per second: well below every
-/// shape's saturation, past the one-leaf knee, and past it everywhere
-/// (paper scale keeps the same rates over a longer horizon so the
-/// tails are better resolved).
-pub fn rates(_scale: Scale) -> [f64; 3] {
-    [100.0, 400.0, 1200.0]
+/// Offered arrival rates swept, requests per second (paper scale keeps
+/// the same rates over a longer horizon so the tails are better
+/// resolved).
+pub fn rates(_scale: Scale) -> Vec<f64> {
+    scenario().rates.clone()
 }
 
 /// Trace horizon in virtual nanoseconds.
 pub fn horizon_ns(scale: Scale) -> u64 {
-    scale.pick(50_000_000, 250_000_000)
+    scenario().traffic.horizon_ns.pick(scale)
 }
 
 /// The request every client sends: a compute-dominated two-layer
@@ -52,18 +50,12 @@ pub fn horizon_ns(scale: Scale) -> u64 {
 /// to the per-job compute override — serving stresses the *scheduler*,
 /// not the CPU's streaming bandwidth.
 pub fn request_shape(_scale: Scale) -> RequestShape {
-    RequestShape {
-        seq: 16,
-        hidden: 64,
-        heads: 4,
-        mlp: 128,
-        slices: 2,
-    }
+    scenario().request
 }
 
 /// Latency SLO: completions slower than this do not count as goodput.
 pub fn slo_ns(_scale: Scale) -> f64 {
-    20e6
+    scenario().policy.slo_ns
 }
 
 /// One serving measurement: one arrival rate on one tree shape.
@@ -100,39 +92,40 @@ pub struct ServeRow {
     pub goodput_gain: f64,
 }
 
-/// The serving testbed: per-leaf local memory (job DMA off the shared
-/// uplink), fixed per-op compute — the [`crate::graph`] tree.
-fn tree_sim(levels: &[u32]) -> Simulation {
-    let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4).with_compute_override_ns(50_000.0);
-    cfg.smmu = None;
-    let spec = switch_tree_with(&cfg, levels, |_| EndpointOptions {
-        accel: None,
-        dev_mem: Some(MemBackendConfig::Dram(MemTech::Hbm2)),
-    })
-    .expect("swept shapes are valid");
-    Simulation::from_topology(cfg, &spec).expect("valid topology")
-}
-
 /// Serve the point's trace once at `batch_cap` requests in flight.
-fn serve_once(rate: f64, levels: &[u32], batch_cap: usize, scale: Scale) -> ServeReport {
-    let arrivals = ArrivalSpec::poisson(rate, 2, SEED).generate(horizon_ns(scale));
-    let mut sim = tree_sim(levels);
+fn serve_once(
+    sc: &ServingScenario,
+    rate: f64,
+    levels: &[u32],
+    batch_cap: usize,
+    scale: Scale,
+) -> ServeReport {
+    let arrivals = sc.traffic.arrivals(rate, scale);
+    let mut sim = sc
+        .system
+        .simulation(levels)
+        .expect("validated spec testbed builds");
     serve(
         &mut sim,
-        &request_shape(scale),
+        &sc.request,
         &arrivals,
-        &Policy::round_robin(),
-        &ServeConfig::new(batch_cap, 32).with_slo_ns(slo_ns(scale)),
+        &sc.policy.policy(),
+        &ServeConfig::new(batch_cap, sc.policy.queue_cap).with_slo_ns(sc.policy.slo_ns),
     )
     .expect("serving completes")
 }
 
 /// Measure one (rate, shape) point: batched vs sequential dispatch.
 pub fn measure(rate: f64, shape: &str, scale: Scale) -> ServeRow {
+    measure_for(scenario(), rate, shape, scale)
+}
+
+/// Measure one (rate, shape) point of an arbitrary serving scenario.
+pub fn measure_for(sc: &ServingScenario, rate: f64, shape: &str, scale: Scale) -> ServeRow {
     let levels = parse_shape(shape);
     let endpoints: u32 = levels.iter().product();
-    let batched = serve_once(rate, &levels, endpoints as usize * 2, scale);
-    let sequential = serve_once(rate, &levels, 1, scale);
+    let batched = serve_once(sc, rate, &levels, sc.policy.batch_cap.cap(endpoints), scale);
+    let sequential = serve_once(sc, rate, &levels, 1, scale);
     let gain = if sequential.goodput_rps > 0.0 {
         batched.goodput_rps / sequential.goodput_rps
     } else if batched.goodput_rps > 0.0 {
@@ -160,8 +153,17 @@ pub fn measure(rate: f64, shape: &str, scale: Scale) -> ServeRow {
 
 /// The sweep as a declarative experiment: rate × shape, row-major.
 pub fn experiment(scale: Scale) -> impl Experiment<Point = (f64, String), Out = ServeRow> {
-    Grid::cross2("serve_scaling", rates(scale), SHAPES.map(String::from))
-        .sweep(move |(rate, shape)| measure(*rate, shape, scale))
+    experiment_for(scenario(), scale)
+}
+
+/// `sc` as a declarative experiment (the `accesys run` entry point).
+pub fn experiment_for(
+    sc: &ServingScenario,
+    scale: Scale,
+) -> impl Experiment<Point = (f64, String), Out = ServeRow> {
+    let sc = sc.clone();
+    Grid::cross2(sc.name.clone(), sc.rates.clone(), sc.shapes.clone())
+        .sweep(move |(rate, shape)| measure_for(&sc, *rate, shape, scale))
 }
 
 /// Run the sweep on `jobs` workers.
@@ -177,8 +179,14 @@ pub fn run(scale: Scale) -> Vec<ServeRow> {
 /// Run at the CLI's settings; print the table unless `--json`; return
 /// the machine-readable sweep value.
 pub fn run_cli(cli: &Cli) -> serde::Value {
-    crate::cli::run_sweep_cli(cli, &experiment(cli.scale), |r| {
-        print(
+    run_cli_for(scenario(), cli)
+}
+
+/// [`run_cli`] against an arbitrary loaded scenario.
+pub fn run_cli_for(sc: &ServingScenario, cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment_for(sc, cli.scale), |r| {
+        print_for(
+            sc,
             &r.points.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
             cli.scale,
         )
@@ -194,17 +202,23 @@ pub fn run_and_print(scale: Scale) -> Vec<ServeRow> {
 
 /// Print the serving table.
 pub fn print(rows: &[ServeRow], scale: Scale) {
-    let s = request_shape(scale);
+    print_for(scenario(), rows, scale)
+}
+
+/// Print the serving table of an arbitrary serving scenario.
+pub fn print_for(sc: &ServingScenario, rows: &[ServeRow], _scale: Scale) {
+    let s = sc.request;
     println!(
         "# Online serving (extension): {}-slice encoder requests \
-         ({}x{}, {} heads, mlp {}), Poisson 2-tenant traffic, \
+         ({}x{}, {} heads, mlp {}), {} traffic, \
          SLO {:.0} ms",
         s.slices,
         s.seq,
         s.hidden,
         s.heads,
         s.mlp,
-        slo_ns(scale) / 1e6
+        traffic_label(sc),
+        sc.policy.slo_ns / 1e6
     );
     println!(
         "{:>8} {:>6} {:>8} {:>9} {:>6} {:>10} {:>10} {:>10} {:>10} {:>9} {:>6}",
@@ -238,6 +252,19 @@ pub fn print(rows: &[ServeRow], scale: Scale) {
     }
     println!("# expected: below saturation both serve everything (gain ~1x);");
     println!("# past it, batching over >1 leaf holds goodput the sequential loop sheds");
+}
+
+/// A short human label for the scenario's arrival process.
+fn traffic_label(sc: &ServingScenario) -> String {
+    match &sc.traffic.process {
+        accesys_spec::TrafficProcess::Poisson { tenants, .. } => {
+            format!("Poisson {tenants}-tenant")
+        }
+        accesys_spec::TrafficProcess::Bursty { tenants, .. } => format!("bursty {tenants}-tenant"),
+        accesys_spec::TrafficProcess::Trace(arrivals) => {
+            format!("{}-arrival trace", arrivals.len())
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,98 @@
+//! The committed scenario library: the `specs/*.spec` files at the
+//! repo root, embedded at compile time and loaded once per kind.
+//!
+//! The text files are the single source of truth for every driver's
+//! presets — [`crate::fig2`], [`crate::topo`], [`crate::graph`],
+//! [`crate::serve`] and [`crate::decode`] all lower their testbeds,
+//! workloads and sweep axes from here instead of carrying Rust-side
+//! constants. A committed spec that fails to load is a build defect,
+//! so the accessors panic with the loader's diagnostic rather than
+//! propagating it.
+
+use accesys_spec::{
+    DecodeScenario, PipelineScenario, RooflineScenario, Scenario, ServingScenario, Spec,
+    TopoScenario,
+};
+use std::sync::OnceLock;
+
+/// The committed scenario files, embedded: `(stem, text)`, in the
+/// order the `accesys list` subcommand shows them.
+pub const LIBRARY: &[(&str, &str)] = &[
+    (
+        "paper_baseline",
+        include_str!("../../../specs/paper_baseline.spec"),
+    ),
+    (
+        "switch_trees",
+        include_str!("../../../specs/switch_trees.spec"),
+    ),
+    (
+        "pipelined_encoder",
+        include_str!("../../../specs/pipelined_encoder.spec"),
+    ),
+    (
+        "two_tenant_mix",
+        include_str!("../../../specs/two_tenant_mix.spec"),
+    ),
+    ("llm_decode", include_str!("../../../specs/llm_decode.spec")),
+    (
+        "kv_pressure",
+        include_str!("../../../specs/kv_pressure.spec"),
+    ),
+];
+
+/// Load a committed spec by file stem.
+pub fn load(stem: &str) -> Spec {
+    let (_, text) = LIBRARY
+        .iter()
+        .find(|(s, _)| *s == stem)
+        .unwrap_or_else(|| panic!("no committed spec `{stem}`"));
+    accesys_spec::load_str(text).unwrap_or_else(|e| panic!("specs/{stem}.spec: {e}"))
+}
+
+macro_rules! committed {
+    ($fn_name:ident, $stem:literal, $variant:ident, $ty:ty) => {
+        /// The committed scenario of that kind (loaded once).
+        pub fn $fn_name() -> &'static $ty {
+            static SCENARIO: OnceLock<$ty> = OnceLock::new();
+            SCENARIO.get_or_init(|| match load($stem).scenario {
+                Scenario::$variant(s) => s,
+                other => panic!(
+                    concat!("specs/", $stem, ".spec: expected kind `{}`, got `{}`"),
+                    stringify!($variant),
+                    other.kind()
+                ),
+            })
+        }
+    };
+}
+
+committed!(roofline, "paper_baseline", Roofline, RooflineScenario);
+committed!(topo, "switch_trees", Topo, TopoScenario);
+committed!(pipeline, "pipelined_encoder", Pipeline, PipelineScenario);
+committed!(serving, "two_tenant_mix", Serving, ServingScenario);
+committed!(decode, "llm_decode", Decode, DecodeScenario);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accesys_exp::Scale;
+
+    #[test]
+    fn every_committed_spec_loads_and_dry_builds() {
+        for (stem, _) in LIBRARY {
+            let spec = load(stem);
+            spec.dry_build(Scale::Quick)
+                .unwrap_or_else(|e| panic!("specs/{stem}.spec: {e}"));
+        }
+    }
+
+    #[test]
+    fn the_drivers_find_their_kinds() {
+        assert_eq!(roofline().name, "fig2");
+        assert_eq!(topo().name, "topo_scaling");
+        assert_eq!(pipeline().name, "graph_scaling");
+        assert_eq!(serving().name, "serve_scaling");
+        assert_eq!(decode().name, "decode_scaling");
+    }
+}

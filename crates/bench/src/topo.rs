@@ -7,20 +7,20 @@
 //! cascaded depth-3 trees — and reports how endpoint count buys
 //! parallelism while every extra switch level costs store-and-forward
 //! latency on the shared path to host memory.
+//!
+//! Both regimes' testbeds, the matrix sizes and the swept shapes lower
+//! from the committed `specs/switch_trees.spec`.
 
 use crate::cli::Cli;
-use crate::Scale;
-use accesys::topology::switch_tree;
-use accesys::{Simulation, SystemConfig};
+use crate::{specs, Scale};
 use accesys_exp::{Experiment, Grid, Jobs};
-use accesys_mem::MemTech;
+use accesys_spec::{SystemSpec, TopoScenario};
 use accesys_workload::GemmSpec;
 
-/// Tree shapes swept: per-level fan-outs encoded as `FxF` strings
-/// (`"2x4"` = two switches under the root with four endpoints each).
-/// Flat shapes replay the classic cluster scaling; the deeper shapes
-/// exist only through the topology engine.
-pub const SHAPES: [&str; 8] = ["1", "2", "4", "8", "2x2", "2x4", "4x2", "2x2x2"];
+/// The committed scenario this sweep lowers from.
+pub fn scenario() -> &'static TopoScenario {
+    specs::topo()
+}
 
 /// One topology measurement.
 #[derive(Clone, Debug, serde::Serialize)]
@@ -44,35 +44,32 @@ pub struct TopoRow {
 
 /// Parse a `FxF` shape string into per-level fan-outs.
 pub fn parse_shape(shape: &str) -> Vec<u32> {
-    shape
-        .split('x')
-        .map(|f| f.parse().expect("shape levels are integers"))
-        .collect()
+    accesys_spec::parse_shape(shape).expect("shape levels are positive integers")
 }
 
 /// Matrix size at each scale.
 pub fn matrix_size(scale: Scale) -> u32 {
-    scale.pick(256, 2048)
+    scenario().matrix.pick(scale)
 }
 
-fn sharded_report(cfg: SystemConfig, levels: &[u32], matrix: u32) -> accesys::RunReport {
-    let spec = switch_tree(&cfg, levels).expect("swept shapes are valid");
-    let mut sim = Simulation::from_topology(cfg, &spec).expect("valid topology");
+fn sharded_report(system: &SystemSpec, levels: &[u32], matrix: u32) -> accesys::RunReport {
+    let mut sim = system
+        .simulation(levels)
+        .expect("validated spec testbed builds");
     sim.run_gemm_sharded(GemmSpec::square(matrix))
         .expect("sharded gemm completes")
 }
 
-/// Measure one tree shape in both regimes.
+/// Measure one tree shape in both committed regimes.
 pub fn measure(shape: &str, matrix: u32) -> TopoRow {
+    measure_for(scenario(), shape, matrix)
+}
+
+/// Measure one tree shape in both of `sc`'s regimes.
+pub fn measure_for(sc: &TopoScenario, shape: &str, matrix: u32) -> TopoRow {
     let levels = parse_shape(shape);
-    // Compute-bound: artificially slow array, ample bandwidth.
-    let mut compute =
-        SystemConfig::pcie_host(64.0, MemTech::Hbm2).with_compute_override_ns(20_000.0);
-    compute.smmu = None;
-    // Transfer-bound: default array on a modest shared link.
-    let transfer = SystemConfig::pcie_host(16.0, MemTech::Ddr4);
-    let compute_report = sharded_report(compute, &levels, matrix);
-    let transfer_report = sharded_report(transfer, &levels, matrix);
+    let compute_report = sharded_report(&sc.compute_bound, &levels, matrix);
+    let transfer_report = sharded_report(&sc.transfer_bound, &levels, matrix);
     TopoRow {
         shape: shape.to_string(),
         depth: levels.len() as u32,
@@ -83,10 +80,19 @@ pub fn measure(shape: &str, matrix: u32) -> TopoRow {
     }
 }
 
-/// The sweep as a declarative experiment over [`SHAPES`].
+/// The sweep as a declarative experiment over the scenario's shapes.
 pub fn experiment(scale: Scale) -> impl Experiment<Point = String, Out = TopoRow> {
-    let matrix = matrix_size(scale);
-    Grid::new("topo_scaling", SHAPES.map(String::from)).sweep(move |s| measure(s, matrix))
+    experiment_for(scenario(), scale)
+}
+
+/// `sc` as a declarative experiment (the `accesys run` entry point).
+pub fn experiment_for(
+    sc: &TopoScenario,
+    scale: Scale,
+) -> impl Experiment<Point = String, Out = TopoRow> {
+    let matrix = sc.matrix.pick(scale);
+    let sc = sc.clone();
+    Grid::new(sc.name.clone(), sc.shapes.clone()).sweep(move |s| measure_for(&sc, s, matrix))
 }
 
 /// Run the sweep on `jobs` workers.
@@ -102,8 +108,14 @@ pub fn run(scale: Scale) -> Vec<TopoRow> {
 /// Run at the CLI's settings; print the table unless `--json`; return
 /// the machine-readable sweep value.
 pub fn run_cli(cli: &Cli) -> serde::Value {
-    crate::cli::run_sweep_cli(cli, &experiment(cli.scale), |r| {
-        print(
+    run_cli_for(scenario(), cli)
+}
+
+/// [`run_cli`] against an arbitrary loaded scenario.
+pub fn run_cli_for(sc: &TopoScenario, cli: &Cli) -> serde::Value {
+    crate::cli::run_sweep_cli(cli, &experiment_for(sc, cli.scale), |r| {
+        print_for(
+            sc,
             &r.points.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
             cli.scale,
         )
@@ -119,11 +131,16 @@ pub fn run_and_print(scale: Scale) -> Vec<TopoRow> {
 
 /// Print the scaling table.
 pub fn print(rows: &[TopoRow], scale: Scale) {
+    print_for(scenario(), rows, scale)
+}
+
+/// Print the scaling table of an arbitrary topo scenario.
+pub fn print_for(sc: &TopoScenario, rows: &[TopoRow], scale: Scale) {
     let base_c = rows[0].compute_bound_ns;
     let base_t = rows[0].transfer_bound_ns;
     println!(
         "# Topology scaling (extension): sharded GEMM, matrix {}",
-        matrix_size(scale)
+        sc.matrix.pick(scale)
     );
     println!(
         "{:>8} {:>6} {:>10} {:>16} {:>9} {:>17} {:>9} {:>13}",
@@ -167,7 +184,7 @@ mod tests {
         assert!(row.compute_bound_ns > 0.0);
         assert!(row.transfer_bound_ns > 0.0);
         assert!(row.root_up_tlps > 0.0);
-        assert!(SHAPES.contains(&"2x4"));
+        assert!(scenario().shapes.iter().any(|s| s == "2x4"));
     }
 
     #[test]

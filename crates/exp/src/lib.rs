@@ -29,13 +29,17 @@
 //! ```
 #![warn(missing_docs)]
 
+pub mod cli;
 mod experiment;
 mod grid;
 mod jobs;
 pub mod pool;
 mod result;
+mod scale;
 
+pub use cli::{Cli, CliError};
 pub use experiment::{run_experiment, Experiment};
 pub use grid::{cross2, cross3, Grid, Sweep};
 pub use jobs::Jobs;
 pub use result::SweepResult;
+pub use scale::Scale;

@@ -1,0 +1,40 @@
+//! Run-size selection.
+
+/// Workload scale for the experiment harness.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Scaled-down sizes (minutes for the whole suite); trends match the
+    /// paper, absolute numbers are smaller.
+    Quick,
+    /// The paper's exact sizes (e.g. 2048×2048 GEMMs).
+    Paper,
+}
+
+impl Scale {
+    /// Resolve from the `ACCESYS_FULL` environment variable.
+    pub fn from_env() -> Scale {
+        match std::env::var("ACCESYS_FULL") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Pick `quick` or `paper` by scale.
+    pub fn pick<T>(self, quick: T, paper: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects_by_scale() {
+        assert_eq!(Scale::Quick.pick(256, 2048), 256);
+        assert_eq!(Scale::Paper.pick(256, 2048), 2048);
+    }
+}

@@ -52,7 +52,7 @@ use accesys_workload::llm::{KvCache, KvError, KvEvent, LlmSpec};
 
 /// What one autoregressive request costs: a prompt to prefill, then
 /// `decode` generated tokens (one per round) before EOS.
-#[derive(Copy, Clone, Debug, serde::Serialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize)]
 pub struct LlmRequestShape {
     /// Model geometry.
     pub spec: LlmSpec,

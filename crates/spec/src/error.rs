@@ -1,0 +1,224 @@
+//! The typed, span-carrying error taxonomy of the spec front-end.
+//!
+//! Every way a scenario file can be wrong is a [`SpecError`] variant
+//! carrying the offending **line** and **field** where one exists —
+//! never a panic, and never a stringly-typed catch-all. The [`Display`]
+//! rendering is stable (pinned by snapshot tests in
+//! `tests/diagnostics.rs`): tools may match on it.
+//!
+//! [`Display`]: std::fmt::Display
+
+/// Why a scenario file failed one of the loader stages
+/// (parse → resolve → validate → instantiate).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// The text is not well-formed (tokenizer/grammar stage).
+    Parse {
+        /// 1-based line of the offending text.
+        line: u32,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A section header the schema does not know.
+    UnknownSection {
+        /// 1-based line of the `[section]` header.
+        line: u32,
+        /// The unknown section name.
+        section: String,
+    },
+    /// A key the section's schema does not know.
+    UnknownKey {
+        /// 1-based line of the entry.
+        line: u32,
+        /// The section the key appeared in.
+        section: String,
+        /// The unknown key.
+        key: String,
+    },
+    /// A required section is missing.
+    MissingSection {
+        /// The section the scenario kind requires.
+        section: String,
+    },
+    /// A required key is missing from a section.
+    MissingKey {
+        /// The section the key belongs in.
+        section: String,
+        /// The missing key.
+        key: String,
+    },
+    /// A value has the wrong type for its key.
+    Type {
+        /// 1-based line of the entry.
+        line: u32,
+        /// `section.key` of the offending entry.
+        field: String,
+        /// What the schema expects there.
+        expected: &'static str,
+        /// What the file actually held.
+        found: String,
+    },
+    /// The same key appears twice in one section.
+    DuplicateKey {
+        /// 1-based line of the *second* occurrence.
+        line: u32,
+        /// `section.key` of the duplicated entry.
+        field: String,
+    },
+    /// The same section header appears twice.
+    DuplicateSection {
+        /// 1-based line of the *second* header.
+        line: u32,
+        /// The duplicated section name.
+        section: String,
+    },
+    /// A named thing (a budget regime, a tenant) is declared twice.
+    DuplicateName {
+        /// 1-based line of the list holding the repeat.
+        line: u32,
+        /// `section.key` of the list.
+        field: String,
+        /// The repeated name.
+        name: String,
+    },
+    /// A reference to a device the topology does not have.
+    DanglingDevice {
+        /// 1-based line of the referencing entry.
+        line: u32,
+        /// `section.key` of the reference.
+        field: String,
+        /// The referenced device, rendered as `dev<i>`.
+        reference: String,
+        /// Endpoints the (smallest swept) topology actually has.
+        endpoints: usize,
+    },
+    /// A KV budget the serving engine cannot honour.
+    KvBudget {
+        /// 1-based line of the budget entry.
+        line: u32,
+        /// `section.key` of the budget.
+        field: String,
+        /// Why the budget is out of range.
+        message: String,
+    },
+    /// A value that is well-typed but semantically invalid
+    /// (bad shape string, zero fan-out, empty axis, …).
+    Invalid {
+        /// 1-based line of the entry.
+        line: u32,
+        /// `section.key` of the offending entry.
+        field: String,
+        /// Why the value is invalid.
+        message: String,
+    },
+    /// The instantiate stage failed: the spec resolved and validated
+    /// but the underlying builders rejected it.
+    Instantiate {
+        /// What the topology/workload/serving builder said.
+        message: String,
+    },
+    /// The spec file could not be read at all.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The OS error.
+        message: String,
+    },
+}
+
+impl SpecError {
+    /// The 1-based line the error points at, when it has one.
+    pub fn line(&self) -> Option<u32> {
+        match self {
+            SpecError::Parse { line, .. }
+            | SpecError::UnknownSection { line, .. }
+            | SpecError::UnknownKey { line, .. }
+            | SpecError::Type { line, .. }
+            | SpecError::DuplicateKey { line, .. }
+            | SpecError::DuplicateSection { line, .. }
+            | SpecError::DuplicateName { line, .. }
+            | SpecError::DanglingDevice { line, .. }
+            | SpecError::KvBudget { line, .. }
+            | SpecError::Invalid { line, .. } => Some(*line),
+            SpecError::MissingSection { .. }
+            | SpecError::MissingKey { .. }
+            | SpecError::Instantiate { .. }
+            | SpecError::Io { .. } => None,
+        }
+    }
+
+    /// The `section.key` field the error points at, when it has one.
+    pub fn field(&self) -> Option<String> {
+        match self {
+            SpecError::UnknownKey { section, key, .. } | SpecError::MissingKey { section, key } => {
+                Some(format!("{section}.{key}"))
+            }
+            SpecError::Type { field, .. }
+            | SpecError::DuplicateKey { field, .. }
+            | SpecError::DuplicateName { field, .. }
+            | SpecError::DanglingDevice { field, .. }
+            | SpecError::KvBudget { field, .. }
+            | SpecError::Invalid { field, .. } => Some(field.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            SpecError::UnknownSection { line, section } => {
+                write!(f, "line {line}: unknown section `[{section}]`")
+            }
+            SpecError::UnknownKey { line, section, key } => {
+                write!(f, "line {line}: unknown key `{key}` in [{section}]")
+            }
+            SpecError::MissingSection { section } => {
+                write!(f, "missing required section `[{section}]`")
+            }
+            SpecError::MissingKey { section, key } => {
+                write!(f, "missing required key `{key}` in [{section}]")
+            }
+            SpecError::Type {
+                line,
+                field,
+                expected,
+                found,
+            } => write!(f, "line {line}: `{field}` expects {expected}, got {found}"),
+            SpecError::DuplicateKey { line, field } => {
+                write!(f, "line {line}: duplicate key `{field}`")
+            }
+            SpecError::DuplicateSection { line, section } => {
+                write!(f, "line {line}: duplicate section `[{section}]`")
+            }
+            SpecError::DuplicateName { line, field, name } => {
+                write!(f, "line {line}: duplicate name `{name}` in `{field}`")
+            }
+            SpecError::DanglingDevice {
+                line,
+                field,
+                reference,
+                endpoints,
+            } => write!(
+                f,
+                "line {line}: `{field}` references `{reference}`, but the topology has only \
+                 {endpoints} endpoint(s)"
+            ),
+            SpecError::KvBudget {
+                line,
+                field,
+                message,
+            } => write!(f, "line {line}: KV budget `{field}` {message}"),
+            SpecError::Invalid {
+                line,
+                field,
+                message,
+            } => write!(f, "line {line}: `{field}` {message}"),
+            SpecError::Instantiate { message } => write!(f, "instantiate failed: {message}"),
+            SpecError::Io { path, message } => write!(f, "cannot read `{path}`: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}

@@ -1,0 +1,455 @@
+//! Stage 1 of the loader: text → [`Document`].
+//!
+//! The grammar is a deliberately small TOML subset, hand-rolled so the
+//! vendored-shim build needs no new dependencies and every diagnostic
+//! can carry the offending line:
+//!
+//! ```text
+//! spec    := line*
+//! line    := ws (comment | section | entry)? comment? ws
+//! section := '[' name ('.' name)* ']'
+//! entry   := key '=' value
+//! value   := string | bool | int | float | list
+//! list    := '[' value (',' value)* ','? ']'        # one line
+//! ```
+//!
+//! Strings are double-quoted (`\"`, `\\`, `\n`, `\t` escapes); ints are
+//! decimal or `0x` hex with `_` separators; floats carry a `.` or an
+//! exponent; comments run `#` to end of line. Keys live inside a
+//! section — a bare entry above the first header is a parse error.
+//! Duplicate keys and duplicate section headers are rejected here, with
+//! the line of the *second* occurrence.
+//!
+//! [`Document`] keeps file order and line spans, and its [`Display`]
+//! impl emits the **canonical form** (one entry per line, normalized
+//! number/string rendering). Canonicalization is a fixed point:
+//! `parse(to_string(doc))` re-serializes to the same text — pinned by
+//! the round-trip suite in `tests/roundtrip.rs`.
+//!
+//! [`Display`]: std::fmt::Display
+
+use crate::SpecError;
+
+/// A parsed scenario file: sections in file order, spans attached.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Document {
+    /// The sections, in file order.
+    pub sections: Vec<Section>,
+}
+
+/// One `[section]` with its entries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Section {
+    /// Dotted section name (e.g. `topology.compute_bound`).
+    pub name: String,
+    /// 1-based line of the header.
+    pub line: u32,
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+/// One `key = value` entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// The key.
+    pub key: String,
+    /// 1-based line of the entry.
+    pub line: u32,
+    /// The parsed value.
+    pub value: RawValue,
+}
+
+/// A parsed value, before schema typing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RawValue {
+    /// A double-quoted string.
+    Str(String),
+    /// An integer (decimal or hex in the source).
+    Int(i64),
+    /// A float (had a `.` or exponent in the source).
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A single-line `[ ... ]` list.
+    List(Vec<RawValue>),
+}
+
+impl RawValue {
+    /// Human name of the value's type (for [`SpecError::Type`]).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            RawValue::Str(_) => "a string",
+            RawValue::Int(_) => "an integer",
+            RawValue::Float(_) => "a float",
+            RawValue::Bool(_) => "a boolean",
+            RawValue::List(_) => "a list",
+        }
+    }
+}
+
+impl Document {
+    /// Find a section by (dotted) name.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+}
+
+impl Section {
+    /// Find an entry by key.
+    pub fn entry(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// Parse a scenario file into its [`Document`].
+///
+/// # Errors
+///
+/// [`SpecError::Parse`] for malformed text, [`SpecError::DuplicateKey`]
+/// / [`SpecError::DuplicateSection`] for repeats — all carrying the
+/// offending line. Never panics, whatever the input.
+pub fn parse(text: &str) -> Result<Document, SpecError> {
+    let mut doc = Document {
+        sections: Vec::new(),
+    };
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line = (idx + 1) as u32;
+        let trimmed = strip_comment(raw_line).trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            let name = rest.strip_suffix(']').ok_or_else(|| SpecError::Parse {
+                line,
+                message: "section header does not end with `]`".to_string(),
+            })?;
+            let name = name.trim();
+            if name.is_empty() || !name.split('.').all(is_name) {
+                return Err(SpecError::Parse {
+                    line,
+                    message: format!("malformed section name `[{name}]`"),
+                });
+            }
+            if doc.section(name).is_some() {
+                return Err(SpecError::DuplicateSection {
+                    line,
+                    section: name.to_string(),
+                });
+            }
+            doc.sections.push(Section {
+                name: name.to_string(),
+                line,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let (key, value_text) = trimmed.split_once('=').ok_or_else(|| SpecError::Parse {
+            line,
+            message: format!("expected `key = value` or `[section]`, got `{trimmed}`"),
+        })?;
+        let key = key.trim();
+        if !is_name(key) {
+            return Err(SpecError::Parse {
+                line,
+                message: format!("malformed key `{key}`"),
+            });
+        }
+        let section = doc.sections.last_mut().ok_or_else(|| SpecError::Parse {
+            line,
+            message: format!("key `{key}` appears before any [section] header"),
+        })?;
+        if section.entry(key).is_some() {
+            return Err(SpecError::DuplicateKey {
+                line,
+                field: format!("{}.{}", section.name, key),
+            });
+        }
+        let value = parse_value(value_text.trim(), line)?;
+        section.entries.push(Entry {
+            key: key.to_string(),
+            line,
+            value,
+        });
+    }
+    Ok(doc)
+}
+
+/// Strip a trailing `# comment`, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn is_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(text: &str, line: u32) -> Result<RawValue, SpecError> {
+    let (value, rest) = parse_value_prefix(text, line)?;
+    if !rest.trim().is_empty() {
+        return Err(SpecError::Parse {
+            line,
+            message: format!("trailing text `{}` after value", rest.trim()),
+        });
+    }
+    Ok(value)
+}
+
+/// Parse one value off the front of `text`; return it and the rest.
+fn parse_value_prefix(text: &str, line: u32) -> Result<(RawValue, &str), SpecError> {
+    let text = text.trim_start();
+    if let Some(rest) = text.strip_prefix('"') {
+        return parse_string(rest, line);
+    }
+    if let Some(mut rest) = text.strip_prefix('[') {
+        let mut items = Vec::new();
+        loop {
+            rest = rest.trim_start();
+            if let Some(after) = rest.strip_prefix(']') {
+                return Ok((RawValue::List(items), after));
+            }
+            if rest.is_empty() {
+                return Err(SpecError::Parse {
+                    line,
+                    message: "unterminated list (lists are single-line)".to_string(),
+                });
+            }
+            let (item, after) = parse_value_prefix(rest, line)?;
+            items.push(item);
+            rest = after.trim_start();
+            if let Some(after) = rest.strip_prefix(',') {
+                rest = after;
+            } else if !rest.starts_with(']') {
+                return Err(SpecError::Parse {
+                    line,
+                    message: "expected `,` or `]` in list".to_string(),
+                });
+            }
+        }
+    }
+    // Bare token: bool or number, up to a delimiter.
+    let end = text
+        .find(|c: char| c == ',' || c == ']' || c.is_whitespace())
+        .unwrap_or(text.len());
+    let (token, rest) = text.split_at(end);
+    match token {
+        "true" => return Ok((RawValue::Bool(true), rest)),
+        "false" => return Ok((RawValue::Bool(false), rest)),
+        "" => {
+            return Err(SpecError::Parse {
+                line,
+                message: "expected a value".to_string(),
+            })
+        }
+        _ => {}
+    }
+    Ok((parse_number(token, line)?, rest))
+}
+
+fn parse_string(rest: &str, line: u32) -> Result<(RawValue, &str), SpecError> {
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((RawValue::Str(out), &rest[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                other => {
+                    return Err(SpecError::Parse {
+                        line,
+                        message: format!(
+                            "unknown string escape `\\{}`",
+                            other.map(|(_, c)| c).unwrap_or(' ')
+                        ),
+                    })
+                }
+            },
+            _ => out.push(c),
+        }
+    }
+    Err(SpecError::Parse {
+        line,
+        message: "unterminated string".to_string(),
+    })
+}
+
+fn parse_number(token: &str, line: u32) -> Result<RawValue, SpecError> {
+    let clean: String = token.chars().filter(|&c| c != '_').collect();
+    let (neg, body) = match clean.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, clean.as_str()),
+    };
+    if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        let mag = i64::from_str_radix(hex, 16).map_err(|_| SpecError::Parse {
+            line,
+            message: format!("malformed hex integer `{token}`"),
+        })?;
+        return Ok(RawValue::Int(if neg { -mag } else { mag }));
+    }
+    if body.contains(['.', 'e', 'E']) {
+        let v: f64 = clean.parse().map_err(|_| SpecError::Parse {
+            line,
+            message: format!("malformed number `{token}`"),
+        })?;
+        if !v.is_finite() {
+            return Err(SpecError::Parse {
+                line,
+                message: format!("non-finite number `{token}`"),
+            });
+        }
+        return Ok(RawValue::Float(v));
+    }
+    let v: i64 = clean.parse().map_err(|_| SpecError::Parse {
+        line,
+        message: format!("malformed value `{token}` (strings are double-quoted)"),
+    })?;
+    Ok(RawValue::Int(v))
+}
+
+// ---------------------------------------------------------------------
+// Canonical serialization.
+
+impl std::fmt::Display for Document {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, section) in self.sections.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            writeln!(f, "[{}]", section.name)?;
+            for entry in &section.entries {
+                writeln!(f, "{} = {}", entry.key, entry.value)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for RawValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RawValue::Str(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\t' => write!(f, "\\t")?,
+                        _ => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            RawValue::Int(v) => write!(f, "{v}"),
+            // `{:?}` is the shortest representation that re-parses to
+            // the same f64 and always keeps a `.` or exponent, so the
+            // canonical form stays a Float.
+            RawValue::Float(v) => write!(f, "{v:?}"),
+            RawValue::Bool(b) => write!(f, "{b}"),
+            RawValue::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_entries_and_values() {
+        let doc = parse(
+            "# demo\n[scenario]\nname = \"fig2\"  # trailing comment\n\n[sweep]\n\
+             compute_ns = [100.0, 2_000.0]\nseed = 0xACCE5\nflag = true\n",
+        )
+        .unwrap();
+        assert_eq!(doc.sections.len(), 2);
+        let sweep = doc.section("sweep").unwrap();
+        assert_eq!(
+            sweep.entry("compute_ns").unwrap().value,
+            RawValue::List(vec![RawValue::Float(100.0), RawValue::Float(2000.0)])
+        );
+        assert_eq!(sweep.entry("seed").unwrap().value, RawValue::Int(0xACCE5));
+        assert_eq!(sweep.entry("flag").unwrap().value, RawValue::Bool(true));
+        assert_eq!(sweep.entry("seed").unwrap().line, 7);
+    }
+
+    #[test]
+    fn duplicate_key_and_section_carry_the_second_line() {
+        let err = parse("[a]\nx = 1\nx = 2\n").unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::DuplicateKey {
+                line: 3,
+                field: "a.x".to_string()
+            }
+        );
+        let err = parse("[a]\n[b]\n[a]\n").unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::DuplicateSection {
+                line: 3,
+                section: "a".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn entry_before_any_section_is_a_parse_error() {
+        assert!(matches!(
+            parse("x = 1\n").unwrap_err(),
+            SpecError::Parse { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn canonical_form_is_a_fixed_point() {
+        let text = "[s]\na = 0x10 # hex normalizes\nb = [1, 2.5, \"x\"]\nc = \"q\\\"uote\"\n";
+        let once = parse(text).unwrap().to_string();
+        let twice = parse(&once).unwrap().to_string();
+        assert_eq!(once, twice);
+        assert!(once.contains("a = 16"));
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors_not_panics() {
+        for bad in [
+            "[a",
+            "[a]\nx 1",
+            "[a]\nx = ",
+            "[a]\nx = \"open",
+            "[a]\nx = [1,",
+            "[a]\nx = 1 2",
+            "[a]\nx = nope",
+            "[a]\nx = 0xZZ",
+            "[]\n",
+            "[a]\n1x = 3",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` must fail typed");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Round-trip tests over the committed `specs/` library: parsing a
+//! file and re-serializing the parsed document must reach a fixed
+//! point, and the canonical text must resolve to the same scenario as
+//! the original. This is the property that makes `Spec::canonical` a
+//! faithful archival form — tools may rewrite spec files through the
+//! parser without changing their meaning.
+
+use accesys_spec::{load_str, parse};
+use std::path::PathBuf;
+
+/// Every committed `specs/*.spec` file, `(file name, text)`.
+fn committed_specs() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    let mut specs: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("specs/ directory at {}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "spec"))
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text =
+                std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+            (name, text)
+        })
+        .collect();
+    specs.sort();
+    assert!(
+        specs.len() >= 5,
+        "the committed library must cover every layer, found {}",
+        specs.len()
+    );
+    specs
+}
+
+#[test]
+fn canonical_serialization_is_a_fixed_point_for_every_committed_spec() {
+    for (name, text) in committed_specs() {
+        let doc = parse(&text).unwrap_or_else(|e| panic!("specs/{name}: {e}"));
+        let once = doc.to_string();
+        let doc2 = parse(&once).unwrap_or_else(|e| panic!("specs/{name} canonical: {e}"));
+        let twice = doc2.to_string();
+        assert_eq!(
+            once, twice,
+            "specs/{name}: canonical form is not a fixed point"
+        );
+    }
+}
+
+#[test]
+fn canonical_text_resolves_to_the_same_scenario() {
+    for (name, text) in committed_specs() {
+        let original = load_str(&text).unwrap_or_else(|e| panic!("specs/{name}: {e}"));
+        let reloaded =
+            load_str(&original.canonical).unwrap_or_else(|e| panic!("specs/{name} canonical: {e}"));
+        assert_eq!(
+            original.scenario, reloaded.scenario,
+            "specs/{name}: canonical text changed the scenario's meaning"
+        );
+        assert_eq!(
+            original.canonical, reloaded.canonical,
+            "specs/{name}: canonical of canonical drifted"
+        );
+    }
+}
+
+#[test]
+fn the_library_keeps_scenario_names_unique() {
+    let mut names = Vec::new();
+    for (file, text) in committed_specs() {
+        let spec = load_str(&text).unwrap_or_else(|e| panic!("specs/{file}: {e}"));
+        let name = spec.scenario.name().to_string();
+        assert!(
+            !names.contains(&name),
+            "specs/{file}: scenario name `{name}` is already taken"
+        );
+        names.push(name);
+    }
+}

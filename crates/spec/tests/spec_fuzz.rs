@@ -1,0 +1,182 @@
+//! Fuzz properties of the staged loader: whatever text comes in,
+//! the answer is `Ok(Spec)` or a typed [`accesys_spec::SpecError`] —
+//! never a panic. Randomly *generated* valid specs must additionally
+//! load and dry-build; randomly *mutated* committed specs may land on
+//! either side, but must stay typed.
+
+use accesys_exp::Scale;
+use accesys_spec::load_str;
+use proptest::prelude::*;
+
+/// The committed library, embedded as the mutation corpus.
+const CORPUS: &[&str] = &[
+    include_str!("../../../specs/paper_baseline.spec"),
+    include_str!("../../../specs/switch_trees.spec"),
+    include_str!("../../../specs/pipelined_encoder.spec"),
+    include_str!("../../../specs/two_tenant_mix.spec"),
+    include_str!("../../../specs/llm_decode.spec"),
+    include_str!("../../../specs/kv_pressure.spec"),
+];
+
+const MEMS: &[&str] = &["ddr3", "ddr4", "ddr5", "hbm2", "gddr6", "lpddr5"];
+
+/// Build a random—but valid by construction—roofline spec.
+fn valid_roofline(link: u32, mem: usize, matrix: u32, points: &[u32]) -> String {
+    let axis: Vec<String> = points.iter().map(|p| format!("{p}.0")).collect();
+    format!(
+        "[scenario]\nkind = \"roofline\"\nname = \"fuzz\"\n\n\
+         [topology]\nlink_gbps = {link}.0\nhost_mem = \"{}\"\n\n\
+         [workload]\nkind = \"gemm\"\nmatrix = {matrix}\n\n\
+         [sweep]\ncompute_ns = [{}]\n",
+        MEMS[mem % MEMS.len()],
+        axis.join(", ")
+    )
+}
+
+/// Build a random valid decode spec whose KV budgets respect both the
+/// one-request floor and the engine cap.
+fn valid_decode(hidden: u32, layers: u32, prompt: u32, decode: u32, tight_pct: u32) -> String {
+    // KV per token is heads-independent: 2 * hidden * layers * 4 B.
+    let per_token = u64::from(2 * hidden * layers * 4);
+    let need = per_token * u64::from(prompt + decode);
+    let ample = (need * 4).min(32 * 1024 * 1024);
+    format!(
+        "[scenario]\nkind = \"decode\"\nname = \"fuzz\"\n\n\
+         [topology]\nlink_gbps = 16.0\nhost_mem = \"ddr4\"\ncompute_ns = 5000.0\n\
+         devmem = \"hbm2\"\n\n\
+         [workload]\nkind = \"llm\"\nhidden = {hidden}\nheads = 4\nmlp = 128\n\
+         layers = {layers}\nprompt = {prompt}\ndecode = {decode}\n\n\
+         [traffic]\nprocess = \"poisson\"\ntenants = 2\nseed = 7\nhorizon_ns = 2000000\n\n\
+         [policy]\nkind = \"round_robin\"\nbatch_cap = \"auto\"\nqueue_cap = 8\n\
+         slo_ns = 2000000.0\n\n\
+         [kv]\nample_bytes = {ample}\ntight_pct = {tight_pct}\n\n\
+         [sweep]\nshapes = [\"2\"]\nrates = [100.0]\nbudgets = [\"ample\", \"tight\"]\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_valid_rooflines_load_and_dry_build(
+        link in 1u32..64,
+        mem in 0usize..6,
+        matrix in 16u32..256,
+        points in proptest::collection::vec(50u32..10_000, 1..6),
+    ) {
+        let text = valid_roofline(link, mem, matrix, &points);
+        let spec = match load_str(&text) {
+            Ok(spec) => spec,
+            Err(e) => return Err(TestCaseError::fail(format!("valid spec rejected: {e}\n{text}"))),
+        };
+        if let Err(e) = spec.dry_build(Scale::Quick) {
+            return Err(TestCaseError::fail(format!("valid spec failed dry-build: {e}")));
+        }
+        prop_assert_eq!(spec.scenario.name(), "fuzz");
+    }
+
+    #[test]
+    fn generated_valid_decodes_load_and_dry_build(
+        hidden in 1u32..16,
+        layers in 1u32..4,
+        prompt in 1u32..32,
+        decode in 1u32..16,
+        tight in 100u32..300,
+    ) {
+        let hidden = hidden * 16; // heads=4 must divide hidden
+        let text = valid_decode(hidden, layers, prompt, decode, tight);
+        let spec = match load_str(&text) {
+            Ok(spec) => spec,
+            Err(e) => return Err(TestCaseError::fail(format!("valid spec rejected: {e}\n{text}"))),
+        };
+        if let Err(e) = spec.dry_build(Scale::Quick) {
+            return Err(TestCaseError::fail(format!("valid spec failed dry-build: {e}")));
+        }
+    }
+}
+
+/// Apply one deterministic mutation to `text`, driven by fuzz ints.
+fn mutate(text: &str, op: usize, at: usize, with: usize) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let pick = |n: usize| if n == 0 { 0 } else { at % n };
+    match op % 7 {
+        // Delete a line.
+        0 if !lines.is_empty() => {
+            let i = pick(lines.len());
+            let mut out = lines.clone();
+            out.remove(i);
+            out.join("\n")
+        }
+        // Duplicate a line (dup keys/sections must be diagnosed).
+        1 if !lines.is_empty() => {
+            let i = pick(lines.len());
+            let mut out = lines.clone();
+            out.insert(i, lines[i]);
+            out.join("\n")
+        }
+        0 | 1 => text.to_string(),
+        // Truncate mid-text (possibly mid-token, mid-string).
+        2 => {
+            let chars: Vec<char> = text.chars().collect();
+            chars[..pick(chars.len())].iter().collect()
+        }
+        // Replace one character with printable garbage.
+        3 => {
+            let mut chars: Vec<char> = text.chars().collect();
+            if !chars.is_empty() {
+                let i = pick(chars.len());
+                chars[i] = (b' ' + (with % 94) as u8) as char;
+            }
+            chars.into_iter().collect()
+        }
+        // Swap two lines (entries before sections, headers reordered).
+        4 => {
+            let mut out = lines.clone();
+            if out.len() >= 2 {
+                let i = pick(out.len());
+                let j = with % out.len();
+                out.swap(i, j);
+            }
+            out.join("\n")
+        }
+        // Inject a malformed line.
+        5 => {
+            let garbage = ["= 3", "[unclosed", "key = ", "\"stray\"", "x = [1,"];
+            let mut out = lines.clone();
+            out.insert(pick(out.len() + 1), garbage[with % garbage.len()]);
+            out.join("\n")
+        }
+        // Scramble a number (type/range errors, huge values).
+        _ => text.replacen(char::is_numeric, &format!("{}", u64::MAX), 1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn mutated_committed_specs_load_or_fail_typed_never_panic(
+        which in 0usize..6,
+        op in 0usize..7,
+        at in 0usize..4096,
+        with in 0usize..4096,
+        twice in any::<bool>(),
+    ) {
+        let mut text = mutate(CORPUS[which], op, at, with);
+        if twice {
+            text = mutate(&text, op.wrapping_add(with), with, at);
+        }
+        // The property is the absence of panics: both arms are legal.
+        match load_str(&text) {
+            Ok(spec) => {
+                // A mutation that stays valid must still dry-build
+                // without panicking (either outcome is in-contract).
+                let _ = spec.dry_build(Scale::Quick);
+            }
+            Err(e) => {
+                // Diagnostics always render.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}

@@ -38,7 +38,7 @@ use crate::{encoder_ops, Op, OpKind};
 
 /// Geometry of an autoregressive transformer: the per-layer shapes both
 /// prefill and decode ops derive from.
-#[derive(Copy, Clone, Debug, serde::Serialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize)]
 pub struct LlmSpec {
     /// Hidden dimension (must be a multiple of `heads`).
     pub hidden: u32,
