@@ -33,7 +33,7 @@ struct GraphPerfReport {
     dispatcher_events_per_sec: f64,
     /// Kernel events of the dispatched run (a determinism canary: this
     /// must never change across perf-only PRs).
-    dispatcher_events: f64,
+    dispatcher_events: u64,
     /// Wall-clock of the best rep, in milliseconds.
     wall_ms: f64,
     /// Peak accelerator jobs in flight (scheduling shape canary).
@@ -70,8 +70,8 @@ fn main() {
         let start = Instant::now();
         let (report, _plan) = graph::instrumented_pipeline_run("2x4", Scale::Quick);
         let secs = start.elapsed().as_secs_f64();
-        let events = report.stats.get_or_zero("kernel.events");
-        (events, events / secs)
+        let events = report.stats.get_or_zero("kernel.events") as u64;
+        (events, events as f64 / secs)
     };
 
     let report = GraphPerfReport {
@@ -100,7 +100,7 @@ fn main() {
             "dispatcher events/sec", report.dispatcher_events_per_sec
         );
         println!(
-            "{:<34} {:>14.0}",
+            "{:<34} {:>14}",
             "dispatcher events", report.dispatcher_events
         );
         println!("{:<34} {:>14.1}", "wall ms", report.wall_ms);

@@ -1,0 +1,132 @@
+//! The parallel-kernel contract: one simulation must produce
+//! **byte-identical** observable results no matter how many worker
+//! threads execute its event loop. This is the intra-simulation sibling
+//! of `determinism.rs` (which pins the sweep-level contract): here a
+//! single kernel is partitioned into conservative domains and run on
+//! 1, 2 and 4 threads, and the full module-counter report — every
+//! counter of every module, serialized — must not drift by a byte.
+//!
+//! Two scenarios, chosen to cover both topology front-ends:
+//!
+//! * the fig2-style PCIe host GEMM (the `perf` bin's e2e workload),
+//!   whose topology splits at the PCIe link into multiple domains;
+//! * the golden decode-serve tree (`golden_decode.rs`'s scenario),
+//!   where prefill/decode batching, KV eviction and `Transfer`
+//!   lowering all run above the partitioned kernel.
+
+use accesys::topology::{switch_tree_with, EndpointOptions};
+use accesys::{MemBackendConfig, Simulation, SystemConfig};
+use accesys_mem::MemTech;
+use accesys_serve::{serve_llm, Arrival, LlmRequestShape, LlmServeConfig, Policy};
+use accesys_workload::llm::LlmSpec;
+use accesys_workload::GemmSpec;
+
+const THREADS: [u32; 3] = [1, 2, 4];
+
+fn stats_json(sim: &accesys::Simulation) -> String {
+    serde_json::to_string_pretty(&serde::Serialize::to_value(&sim.stats()))
+        .expect("stats serialize")
+}
+
+/// Fig2-style GEMM stats at a given worker count.
+fn gemm_stats(threads: u32) -> String {
+    let mut cfg = SystemConfig::pcie_host(8.0, MemTech::Ddr4);
+    cfg.kernel_threads = threads;
+    let mut sim = Simulation::new(cfg).expect("valid config");
+    sim.run_gemm(GemmSpec::square(96)).expect("gemm completes");
+    stats_json(&sim)
+}
+
+/// The golden decode-serve scenario's report + stats at a worker count.
+fn decode_stats(threads: u32) -> (String, String) {
+    let mut cfg = SystemConfig::pcie_host(16.0, MemTech::Ddr4).with_compute_override_ns(5_000.0);
+    cfg.smmu = None;
+    cfg.kernel_threads = threads;
+    let spec = switch_tree_with(&cfg, &[2], |_| EndpointOptions {
+        accel: None,
+        dev_mem: Some(MemBackendConfig::Dram(MemTech::Hbm2)),
+    })
+    .expect("valid tree");
+    let mut sim = Simulation::from_topology(cfg, &spec).expect("valid topology");
+
+    let shape = LlmRequestShape {
+        spec: LlmSpec::tiny(),
+        prompt: 8,
+        decode: 4,
+    };
+    let arrivals = [
+        Arrival {
+            at_ns: 0,
+            tenant: 0,
+        },
+        Arrival {
+            at_ns: 0,
+            tenant: 1,
+        },
+        Arrival {
+            at_ns: 400_000,
+            tenant: 0,
+        },
+        Arrival {
+            at_ns: 400_001,
+            tenant: 1,
+        },
+    ];
+    let serve_cfg = LlmServeConfig::new(4, 16, shape.max_kv_bytes() * 3 / 2).with_slo_ns(10e6);
+    let report = serve_llm(
+        &mut sim,
+        &shape,
+        &arrivals,
+        &Policy::round_robin(),
+        &serve_cfg,
+    )
+    .expect("serve completes");
+    let report_json = serde_json::to_string_pretty(&serde::Serialize::to_value(&report))
+        .expect("reports serialize");
+    (report_json, stats_json(&sim))
+}
+
+#[test]
+fn gemm_stats_are_byte_identical_across_kernel_threads() {
+    let baseline = gemm_stats(THREADS[0]);
+    for &threads in &THREADS[1..] {
+        assert_eq!(
+            gemm_stats(threads),
+            baseline,
+            "fig2-style GEMM stats drifted at kernel_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn decode_serve_is_byte_identical_across_kernel_threads() {
+    let (report1, stats1) = decode_stats(THREADS[0]);
+    for &threads in &THREADS[1..] {
+        let (report, stats) = decode_stats(threads);
+        assert_eq!(
+            report, report1,
+            "decode-serve report drifted at kernel_threads={threads}"
+        );
+        assert_eq!(
+            stats, stats1,
+            "decode-serve stats drifted at kernel_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn the_partitioned_topology_really_has_multiple_domains() {
+    // Guard against the test silently degenerating into "sequential vs
+    // sequential": the fig2-style topology must actually split, or the
+    // byte-identity assertions above prove nothing about parallelism.
+    let mut cfg = SystemConfig::pcie_host(8.0, MemTech::Ddr4);
+    cfg.kernel_threads = 2;
+    let sim = Simulation::new(cfg).expect("valid config");
+    let (domains, lookahead, threads) = sim
+        .kernel()
+        .partition()
+        .expect("fig2-style topology partitions");
+    assert!(domains >= 2, "expected a multi-domain cut, got {domains}");
+    assert!(lookahead > 0, "lookahead must be positive");
+    assert_eq!(threads, 2);
+}

@@ -1,7 +1,8 @@
 //! Set-associative write-back cache with MSHRs and optional coherence.
 
-use accesys_sim::{units, Ctx, MemCmd, Module, ModuleId, Msg, Packet, Stats, Tick};
-use std::collections::{HashMap, VecDeque};
+use accesys_sim::FxHashMap;
+use accesys_sim::{units, Ctx, MemCmd, Module, ModuleId, Msg, Packet, PacketBox, Stats, Tick};
+use std::collections::VecDeque;
 
 /// Geometry and timing of a [`Cache`].
 #[derive(Copy, Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -96,7 +97,7 @@ struct LineOp {
 }
 
 struct Parent {
-    pkt: Box<Packet>,
+    pkt: PacketBox,
     remaining: u32,
     start: Tick,
 }
@@ -113,14 +114,19 @@ pub struct Cache {
     sets: Vec<Vec<Line>>,
     lru_clock: u64,
     /// line addr -> ops waiting on an in-flight fill.
-    mshrs: HashMap<u64, Vec<LineOp>>,
+    mshrs: FxHashMap<u64, Vec<LineOp>>,
     /// Ops stalled because all MSHRs are busy.
     stalled: VecDeque<LineOp>,
-    parents: HashMap<u64, Parent>,
+    parents: FxHashMap<u64, Parent>,
     /// Coherence directory (LLC role only).
     coherent: Option<CoherentConfig>,
-    presence: HashMap<u64, u8>,
-    probing: HashMap<u64, Vec<LineOp>>,
+    presence: FxHashMap<u64, u8>,
+    probing: FxHashMap<u64, Vec<LineOp>>,
+    /// Emptied waiter lists kept for reuse: every miss needs a fresh
+    /// `Vec<LineOp>`, and recycling the retired ones keeps the steady
+    /// state free of per-miss heap traffic (the `perf` bin's
+    /// allocation diet counts every allocator hit).
+    spare_waiters: Vec<Vec<LineOp>>,
     // stats
     hits: u64,
     misses: u64,
@@ -156,12 +162,13 @@ impl Cache {
             downstream,
             sets,
             lru_clock: 0,
-            mshrs: HashMap::new(),
+            mshrs: FxHashMap::default(),
             stalled: VecDeque::new(),
-            parents: HashMap::new(),
+            parents: FxHashMap::default(),
             coherent: None,
-            presence: HashMap::new(),
-            probing: HashMap::new(),
+            presence: FxHashMap::default(),
+            probing: FxHashMap::default(),
+            spare_waiters: Vec::new(),
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -212,6 +219,21 @@ impl Cache {
             Some(c) if stream >= c.io_stream_base => CoherenceSide::Io,
             _ => CoherenceSide::Cpu,
         }
+    }
+
+    /// A waiter list seeded with `op`, reusing a retired list's storage
+    /// when one is spare (the pool grows to the peak number of
+    /// concurrent fills/probes, then steady state never allocates).
+    fn waiter_list(&mut self, op: LineOp) -> Vec<LineOp> {
+        let mut list = self.spare_waiters.pop().unwrap_or_default();
+        list.push(op);
+        list
+    }
+
+    /// Return a drained waiter list's storage to the spare pool.
+    fn retire_waiters(&mut self, list: Vec<LineOp>) {
+        debug_assert!(list.is_empty());
+        self.spare_waiters.push(list);
     }
 
     fn lookup(&mut self, line_addr: u64) -> Option<(usize, usize)> {
@@ -332,7 +354,8 @@ impl Cache {
             self.stalled.push_back(op);
             return;
         }
-        self.mshrs.insert(op.line_addr, vec![op]);
+        let waiters = self.waiter_list(op);
+        self.mshrs.insert(op.line_addr, waiters);
         let mut fill = Packet::request(
             ctx.alloc_pkt_id(),
             MemCmd::ReadReq,
@@ -340,7 +363,17 @@ impl Cache {
             self.cfg.line_bytes,
             ctx.now(),
         );
-        fill.stream = op.parent as u16; // diagnostics only
+        // The fill inherits the requester's stream: a downstream
+        // coherence point classifies CPU-vs-I/O side from it, so it must
+        // reflect the original traffic class (never the packet id, which
+        // is an equality-only match key — the parallel domain engine
+        // allocates ids from per-domain chunks).
+        fill.stream = self
+            .parents
+            .get(&op.parent)
+            .expect("miss for unknown parent")
+            .pkt
+            .stream;
         fill.route.push(ctx.self_id());
         ctx.send(
             self.downstream,
@@ -368,7 +401,8 @@ impl Cache {
                     waiters.push(op);
                     return;
                 }
-                self.probing.insert(op.line_addr, vec![op]);
+                let waiters = self.waiter_list(op);
+                self.probing.insert(op.line_addr, waiters);
                 self.snoops_sent += 1;
                 let mut probe = Packet::request(
                     ctx.alloc_pkt_id(),
@@ -385,7 +419,7 @@ impl Cache {
         self.access_line(op, ctx);
     }
 
-    fn handle_request(&mut self, pkt: Box<Packet>, ctx: &mut Ctx) {
+    fn handle_request(&mut self, pkt: PacketBox, ctx: &mut Ctx) {
         let side = self.side_of(pkt.stream);
         let write = pkt.cmd == MemCmd::WriteReq;
         self.bytes += u64::from(pkt.size);
@@ -414,24 +448,25 @@ impl Cache {
 
     fn handle_fill(&mut self, pkt: &Packet, ctx: &mut Ctx) {
         let line_addr = pkt.addr;
-        let waiters = self
+        let mut waiters = self
             .mshrs
             .remove(&line_addr)
             .expect("fill without MSHR entry");
         let dirty = waiters.iter().any(|w| w.write);
         self.install(line_addr, dirty, ctx);
         let at = ctx.now() + units::ns(self.cfg.hit_latency_ns);
-        for w in waiters {
+        for w in waiters.drain(..) {
             self.note_presence(w);
             self.complete_line(w.parent, at, ctx);
         }
+        self.retire_waiters(waiters);
         // An MSHR freed: admit one stalled op (already counted).
         if let Some(op) = self.stalled.pop_front() {
             self.access_line_inner(op, ctx, false);
         }
     }
 
-    fn handle_snoop(&mut self, mut pkt: Box<Packet>, ctx: &mut Ctx) {
+    fn handle_snoop(&mut self, mut pkt: PacketBox, ctx: &mut Ctx) {
         self.snoops_received += 1;
         if let Some((set, way)) = self.lookup(pkt.addr) {
             let line = self.sets[set][way];
@@ -463,10 +498,11 @@ impl Cache {
         if let Some(bits) = self.presence.get_mut(&line_addr) {
             *bits &= !CoherenceSide::Cpu.bit();
         }
-        if let Some(ops) = self.probing.remove(&line_addr) {
-            for op in ops {
+        if let Some(mut ops) = self.probing.remove(&line_addr) {
+            for op in ops.drain(..) {
                 self.access_line(op, ctx);
             }
+            self.retire_waiters(ops);
         }
     }
 }

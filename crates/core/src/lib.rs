@@ -55,13 +55,14 @@ mod system;
 pub mod topology;
 
 pub use config::{
-    AccessMode, InterconnectKind, MemBackendConfig, MemoryLocation, PcieConfig, SystemConfig,
+    kernel_threads_default, AccessMode, InterconnectKind, MemBackendConfig, MemoryLocation,
+    PcieConfig, SystemConfig,
 };
 pub use dispatch::{DispatchPlan, GraphRun, GraphSession};
 pub use error::{BuildError, Error, RunError};
 pub use report::{RunReport, VitReport};
 pub use system::Simulation;
-pub use topology::TopologySpec;
+pub use topology::{KernelPartition, TopologySpec};
 
 // Re-export the subsystem crates so downstream users need one dependency.
 pub use accesys_accel as accel;

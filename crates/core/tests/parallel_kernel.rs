@@ -1,0 +1,115 @@
+//! The parallel domain engine's contract at the system level: the
+//! topology partitioner must cut the Fig. 1 platform at its PCIe
+//! latency boundaries, and a simulation run with any worker count must
+//! produce byte-identical observable results — full module-counter
+//! reports and serialized run reports, not just end times.
+
+use accesys::sim::{Kernel, Stats};
+use accesys::topology::switch_tree;
+use accesys::{RunReport, Simulation, SystemConfig};
+use accesys_mem::MemTech;
+use accesys_workload::GemmSpec;
+
+/// Partition the paper-baseline topology and hand back the domain
+/// count plus the lookahead (in ticks).
+fn partition_of(cfg: &SystemConfig) -> (usize, u64) {
+    let spec = cfg.topology().expect("valid config");
+    let mut kernel = Kernel::new();
+    let handles = spec.instantiate(&mut kernel).expect("instantiates");
+    let p = spec
+        .partition(&handles)
+        .expect("PCIe topologies must partition");
+    // Every registered module lands in exactly one domain.
+    let mut seen = std::collections::BTreeSet::new();
+    for dom in &p.domains {
+        for &m in dom {
+            assert!(seen.insert(m), "module {m} assigned to two domains");
+        }
+    }
+    assert_eq!(
+        seen.len(),
+        kernel.module_count(),
+        "every module must be covered"
+    );
+    (p.domains.len(), p.lookahead)
+}
+
+#[test]
+fn paper_baseline_partitions_at_the_pcie_boundary() {
+    let (domains, lookahead) = partition_of(&SystemConfig::paper_baseline());
+    // Host side and device side at minimum; the switch's store-and-
+    // forward stage may form its own domain.
+    assert!(domains >= 2, "expected >= 2 domains, got {domains}");
+    assert!(lookahead >= 1, "lookahead must be a usable window");
+}
+
+#[test]
+fn switch_trees_give_each_leaf_its_own_domain() {
+    let cfg = SystemConfig::paper_baseline().with_accel_count(4);
+    let spec = switch_tree(&cfg, &[4]).expect("tree builds");
+    let mut kernel = Kernel::new();
+    let handles = spec.instantiate(&mut kernel).expect("instantiates");
+    let p = spec.partition(&handles).expect("trees partition");
+    // One host domain, the root switch, and one domain per endpoint.
+    assert!(
+        p.domains.len() >= 6,
+        "expected host + switch + 4 leaves, got {}",
+        p.domains.len()
+    );
+}
+
+#[test]
+fn cxl_topologies_fall_back_to_sequential() {
+    // CXL flit links are never cut, so the whole platform collapses
+    // into one domain and partition() reports nothing to parallelize.
+    let cfg = SystemConfig::cxl_host(8, MemTech::Ddr4);
+    let spec = cfg.topology().expect("valid config");
+    let mut kernel = Kernel::new();
+    let handles = spec.instantiate(&mut kernel).expect("instantiates");
+    assert!(spec.partition(&handles).is_none());
+}
+
+/// Run one GEMM with `threads` workers and return everything an
+/// experiment could observe: the serialized run report and the full
+/// stats dump.
+fn observable_run(threads: u32) -> (String, Stats, RunReport) {
+    let mut cfg = SystemConfig::pcie_host(8.0, MemTech::Ddr4);
+    cfg.kernel_threads = threads;
+    let mut sim = Simulation::new(cfg).expect("valid config");
+    let report = sim.run_gemm(GemmSpec::square(96)).expect("gemm completes");
+    let json = serde_json::to_string(&report).expect("report serializes");
+    (json, sim.stats(), report)
+}
+
+#[test]
+fn gemm_results_are_byte_identical_across_thread_counts() {
+    let (json1, stats1, rep1) = observable_run(1);
+    for threads in [2, 4] {
+        let (json_n, stats_n, rep_n) = observable_run(threads);
+        assert_eq!(json1, json_n, "run report diverged at {threads} threads");
+        assert_eq!(stats1, stats_n, "stats diverged at {threads} threads");
+        assert_eq!(
+            rep1.total_time_ns().to_bits(),
+            rep_n.total_time_ns().to_bits()
+        );
+    }
+}
+
+#[test]
+fn sharded_multi_accel_runs_match_across_thread_counts() {
+    // Four accelerators behind the switch: the richest domain graph the
+    // standard topology produces, with cross-domain traffic on every
+    // DMA channel.
+    let run = |threads: u32| {
+        let mut cfg = SystemConfig::pcie_host(8.0, MemTech::Ddr4).with_accel_count(4);
+        cfg.kernel_threads = threads;
+        let mut sim = Simulation::new(cfg).expect("valid config");
+        let report = sim
+            .run_gemm_sharded(GemmSpec::square(128))
+            .expect("sharded gemm completes");
+        (serde_json::to_string(&report).unwrap(), sim.stats())
+    };
+    let baseline = run(1);
+    assert_eq!(baseline, run(2));
+    assert_eq!(baseline, run(4));
+}

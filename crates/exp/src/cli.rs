@@ -25,6 +25,10 @@ pub struct Cli {
     pub jobs: Jobs,
     /// Emit JSON on stdout instead of the human-readable table.
     pub json: bool,
+    /// Parallel-kernel worker threads per simulation (`--kernel-threads`);
+    /// `None` defers to the spec / `ACCESYS_KERNEL_THREADS` / 1. Results
+    /// are byte-identical at any value — this only buys wall-clock.
+    pub kernel_threads: Option<u32>,
 }
 
 /// Why an argument vector did not parse.
@@ -39,6 +43,8 @@ pub enum CliError {
     MissingValue(String),
     /// `--jobs` got something other than a positive integer.
     BadJobs(String),
+    /// `--kernel-threads` got something other than a positive integer.
+    BadKernelThreads(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -49,6 +55,12 @@ impl std::fmt::Display for CliError {
             CliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
             CliError::BadJobs(value) => {
                 write!(f, "--jobs needs a positive integer, got `{value}`")
+            }
+            CliError::BadKernelThreads(value) => {
+                write!(
+                    f,
+                    "--kernel-threads needs a positive integer, got `{value}`"
+                )
             }
         }
     }
@@ -63,6 +75,7 @@ impl Cli {
             scale,
             jobs,
             json: false,
+            kernel_threads: None,
         }
     }
 
@@ -94,6 +107,7 @@ impl Cli {
             scale: Scale::from_env(),
             jobs: Jobs::from_env(),
             json: false,
+            kernel_threads: None,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -105,9 +119,15 @@ impl Cli {
                     let value = args.next().ok_or(CliError::MissingValue(arg))?;
                     cli.jobs = parse_jobs(&value)?;
                 }
+                "--kernel-threads" => {
+                    let value = args.next().ok_or(CliError::MissingValue(arg))?;
+                    cli.kernel_threads = Some(parse_kernel_threads(&value)?);
+                }
                 other => {
                     if let Some(value) = other.strip_prefix("--jobs=") {
                         cli.jobs = parse_jobs(value)?;
+                    } else if let Some(value) = other.strip_prefix("--kernel-threads=") {
+                        cli.kernel_threads = Some(parse_kernel_threads(value)?);
                     } else {
                         return Err(CliError::UnknownFlag(other.to_string()));
                     }
@@ -125,10 +145,17 @@ fn parse_jobs(value: &str) -> Result<Jobs, CliError> {
     }
 }
 
+fn parse_kernel_threads(value: &str) -> Result<u32, CliError> {
+    match value.parse::<u32>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(CliError::BadKernelThreads(value.to_string())),
+    }
+}
+
 /// The usage text every sweep bin shares.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--jobs N] [--json] [--full]\n\
+        "usage: {bin} [--jobs N] [--json] [--full] [--kernel-threads N]\n\
          \n\
          --jobs N, -j N  run the sweep on N worker threads\n\
          \x20                (default: ACCESYS_JOBS, else all cores)\n\
@@ -136,6 +163,11 @@ pub fn usage(bin: &str) -> String {
          --full          paper-scale workload sizes where applicable\n\
          \x20                (same as ACCESYS_FULL=1; scale-independent\n\
          \x20                bins such as probe/table2/table3 ignore it)\n\
+         --kernel-threads N\n\
+         \x20                parallel domain-engine threads per simulation\n\
+         \x20                (default: spec [kernel] threads, else\n\
+         \x20                ACCESYS_KERNEL_THREADS, else 1; results are\n\
+         \x20                byte-identical at any value)\n\
          --help, -h      show this help"
     )
 }
@@ -208,6 +240,13 @@ mod tests {
     }
 
     #[test]
+    fn kernel_threads_parses_and_defaults_to_none() {
+        assert_eq!(parse(&[]).kernel_threads, None);
+        assert_eq!(parse(&["--kernel-threads", "4"]).kernel_threads, Some(4));
+        assert_eq!(parse(&["--kernel-threads=2"]).kernel_threads, Some(2));
+    }
+
+    #[test]
     fn bad_flags_are_typed_errors() {
         let parse = |args: &[&str]| Cli::parse(args.iter().map(|s| s.to_string()));
         assert_eq!(
@@ -221,6 +260,14 @@ mod tests {
         assert_eq!(
             parse(&["--jobs", "zero"]),
             Err(CliError::BadJobs("zero".to_string()))
+        );
+        assert_eq!(
+            parse(&["--kernel-threads", "none"]),
+            Err(CliError::BadKernelThreads("none".to_string()))
+        );
+        assert_eq!(
+            parse(&["--kernel-threads", "0"]),
+            Err(CliError::BadKernelThreads("0".to_string()))
         );
         assert_eq!(parse(&["-h"]), Err(CliError::Help));
         assert_eq!(

@@ -1,7 +1,9 @@
 //! Device-side PCIe endpoint port with a bounded non-posted tag pool.
 
 use crate::AddrRange;
-use accesys_sim::{units, CreditClass, Ctx, MemCmd, Module, ModuleId, Msg, Packet, Stats};
+use accesys_sim::{
+    units, CreditClass, Ctx, MemCmd, Module, ModuleId, Msg, Packet, PacketBox, Stats,
+};
 use std::collections::VecDeque;
 
 /// Configuration of a [`PcieEndpoint`].
@@ -56,7 +58,7 @@ pub struct PcieEndpoint {
     /// controller) for host-originated NUMA accesses.
     inward_routes: Vec<(AddrRange, ModuleId)>,
     outstanding_np: u32,
-    tx_queue: VecDeque<Box<Packet>>,
+    tx_queue: VecDeque<PacketBox>,
     // stats
     reads_sent: u64,
     writes_sent: u64,

@@ -9,7 +9,7 @@
 //! this module implements the natural next interconnect its title points
 //! at, and the `cxl_vs_pcie` bench compares the two.
 
-use accesys_sim::{units, CreditClass, Ctx, Module, ModuleId, Msg, Packet, Stats, Tick};
+use accesys_sim::{units, CreditClass, Ctx, Module, ModuleId, Msg, Packet, PacketBox, Stats, Tick};
 use std::collections::VecDeque;
 
 /// How a terminal receiver (root complex / endpoint) counts the ingress
@@ -114,7 +114,7 @@ pub struct FlitLink {
     cfg: FlitLinkConfig,
     dst: ModuleId,
     credit_flits: i64,
-    queue: VecDeque<Box<Packet>>,
+    queue: VecDeque<PacketBox>,
     tx_free: Tick,
     // stats
     packets: u64,

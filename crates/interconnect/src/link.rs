@@ -1,6 +1,6 @@
 //! Unidirectional PCIe link with serialization and credit flow control.
 
-use accesys_sim::{units, CreditClass, Ctx, MemCmd, Module, ModuleId, Msg, Packet, Stats, Tick};
+use accesys_sim::{units, CreditClass, Ctx, MemCmd, Module, ModuleId, Msg, PacketBox, Stats, Tick};
 use std::collections::VecDeque;
 
 /// Configuration of one [`PcieLink`] direction.
@@ -108,7 +108,7 @@ pub struct PcieLink {
     cfg: PcieLinkConfig,
     dst: ModuleId,
     credits: [i64; 3],
-    queues: [VecDeque<Box<Packet>>; 3],
+    queues: [VecDeque<PacketBox>; 3],
     tx_free: Tick,
     rng: u64,
     // stats
@@ -274,7 +274,7 @@ impl Module for PcieLink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use accesys_sim::Kernel;
+    use accesys_sim::{Kernel, Packet};
 
     /// Sink that consumes packets after `proc_ns` and returns credits.
     struct Sink {

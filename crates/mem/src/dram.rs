@@ -2,7 +2,7 @@
 //! refresh, page policies, address mapping and an energy model.
 
 use crate::{DramPower, EnergyBreakdown};
-use accesys_sim::{units, Ctx, Histogram, MemCmd, Module, Msg, Packet, Stats, Tick};
+use accesys_sim::{units, Ctx, Histogram, MemCmd, Module, Msg, PacketBox, Stats, Tick};
 use std::collections::VecDeque;
 
 /// How physical addresses map onto channel / bank / row.
@@ -138,7 +138,7 @@ impl Bank {
 struct Pending {
     // Boxed by the Msg that delivered it; the same box is re-sent as the
     // response, so a DRAM transaction never reallocates its packet.
-    pkt: Box<Packet>,
+    pkt: PacketBox,
     arrived: Tick,
     bank: u32,
     row: u64,
@@ -510,7 +510,7 @@ impl Module for Dram {
 mod tests {
     use super::*;
     use crate::MemTech;
-    use accesys_sim::{Kernel, ModuleId};
+    use accesys_sim::{Kernel, ModuleId, Packet};
 
     /// Issues a fixed access pattern and collects completion times.
     /// In `serial` mode each request waits for the previous response,

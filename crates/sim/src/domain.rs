@@ -1,0 +1,754 @@
+//! Conservative parallel discrete-event engine: domain decomposition
+//! with lookahead windows and a deterministic replay-merge.
+//!
+//! # Model
+//!
+//! [`Kernel::set_partition`] splits the module graph into **domains** —
+//! disjoint module sets whose only inter-domain messages travel with at
+//! least `lookahead` ticks of delay (in the AcceSys topology the cuts
+//! run through PCIe links, whose serialization/pipeline latency supplies
+//! the lookahead; see `TopologySpec::partition` in `accesys`). Each
+//! domain gets its own [`EventQueue`] and owns its modules for the
+//! duration of a run, so a **round** can process every domain on a
+//! different worker thread:
+//!
+//! 1. **Window.** Let `t_min` be the earliest pending event across all
+//!    domains. Every event in `[t_min, t_min + lookahead)` is safe to
+//!    process: no other domain can inject an event into that window,
+//!    because anything a domain sends across a cut arrives at least
+//!    `lookahead` after `t_min`.
+//! 2. **Parallel phase.** Each domain drains its own queue up to the
+//!    window end. Intra-domain sends landing inside the window are
+//!    processed in the same round (cascades keep their relative order —
+//!    see below); everything else (later ticks, other domains) is
+//!    deferred into a per-domain log.
+//! 3. **Replay merge.** A sequential pass k-way-merges the per-domain
+//!    logs in `(tick, seq)` order, assigns the *definitive* sequence
+//!    numbers in merged order, and commits deferred sends into the
+//!    destination domains' queues.
+//!
+//! # Determinism contract
+//!
+//! The observable results — module state, statistics, final tick — are
+//! **byte-identical to the sequential kernel at any thread count**. The
+//! merge step is what buys this: the sequential kernel stamps each send
+//! with a global monotone sequence number and drains in `(tick, seq)`
+//! order, and the replay merge reproduces exactly that stamping order.
+//! In-window cascade events carry *provisional* sequence numbers
+//! (`PROV_BASE + n`, above every real one) while the round runs; the
+//! merge resolves them to the numbers the sequential kernel would have
+//! assigned. Two facts make the provisional order correct:
+//!
+//! * every event already queued at the start of a round was produced by
+//!   an earlier round, so its (real) sequence number is smaller than any
+//!   number assigned during this round — real-before-provisional at
+//!   equal ticks matches the sequential order;
+//! * within a domain, cascades are committed in processing order, which
+//!   the merge visits in the same order, so provisional numbers resolve
+//!   ascending.
+//!
+//! Packet ids are the one quantity allowed to differ from the sequential
+//! run: each domain allocates from its own disjoint chunk (uniqueness is
+//! what matters — ids are equality-only match keys and never appear in
+//! reports).
+//!
+//! # Divergences from the sequential loop
+//!
+//! * The event budget ([`RunLimit::max_events`]) is checked at round
+//!   boundaries, so a run may overshoot the budget by up to one window
+//!   before reporting [`SimError::EventLimitExceeded`].
+//! * A panicking handler stops the run at the end of the current round:
+//!   other domains still complete their window and the finished events
+//!   are merged, but the panicking domain's window is cut short — so,
+//!   unlike the sequential loop, the kernel should not be resumed
+//!   afterwards.
+//! * Tracers force the sequential loop (same results, delivered in
+//!   drain order).
+
+use crate::kernel::{Ctx, Ev, RunLimit, SimError};
+use crate::{Kernel, Module, ModuleId, Msg, Tick};
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard};
+
+/// Provisional sequence-number base for in-window cascade events. Above
+/// every definitive number (a simulation would need >9e18 events to
+/// collide), so provisional events sort after real ones at equal ticks —
+/// exactly the sequential order (see the module docs).
+const PROV_BASE: u64 = 1 << 63;
+
+/// Per-domain packet-id chunk size. Domain `d` allocates ids from
+/// `base + d * PKT_ID_CHUNK`; 2^40 ids per domain per run keeps chunks
+/// disjoint for any realistic run count and module count.
+const PKT_ID_CHUNK: u64 = 1 << 40;
+
+/// A domain partition installed on a [`Kernel`].
+pub(crate) struct DomainPlan {
+    /// Disjoint module sets covering every module in the kernel.
+    pub domains: Vec<Vec<ModuleId>>,
+    /// Minimum cross-domain message delay, in ticks (>= 1).
+    pub lookahead: Tick,
+    /// Worker threads to run rounds on.
+    pub threads: usize,
+}
+
+/// One processed event in a domain's round log: enough to replay the
+/// round's effects in the global merge order without re-running handlers.
+#[derive(Copy, Clone)]
+struct LogEntry {
+    when: Tick,
+    /// Sequence number the event was popped with — definitive
+    /// (pre-round) or provisional (in-window cascade).
+    seq: u64,
+    /// Module the event was delivered to (order-probe diagnostics).
+    dst: ModuleId,
+    /// Number of [`SendRec`]s this event appended to the domain's flat
+    /// send log.
+    n_sends: u32,
+}
+
+/// One send committed during the parallel phase.
+enum SendRec {
+    /// Intra-domain send landing inside the window: already pushed into
+    /// the domain queue with the next provisional number (and popped
+    /// again before the round ended), so the merge only needs to assign
+    /// its definitive sequence number.
+    InWindow,
+    /// Send deferred to the merge: crosses a domain boundary and/or
+    /// lands beyond the window.
+    Deferred { when: Tick, dst: ModuleId, msg: Msg },
+}
+
+/// A domain's private slice of the kernel during a parallel run.
+struct Domain {
+    queue: crate::EventQueue<Ev>,
+    /// Sparse module table indexed by [`ModuleId::index`]; `Some` only
+    /// for modules owned by this domain.
+    modules: Vec<Option<Box<dyn Module>>>,
+    log: Vec<LogEntry>,
+    sends: Vec<SendRec>,
+    out_buf: Vec<(Tick, ModuleId, Msg)>,
+    next_pkt_id: u64,
+    /// Provisional sequence numbers handed out this round.
+    prov_ctr: u64,
+}
+
+/// State shared by all workers for one parallel run.
+///
+/// Synchronization protocol: `done` and `t_last` are written **only
+/// during the merge phase**, while every worker is blocked at the
+/// round-opening barrier — so after that barrier releases, all threads
+/// read the same values and make the same continue-or-stop decision.
+/// A handler panic during the run phase must *not* touch `done` (a
+/// worker that has not yet made its round decision could observe the
+/// new value, break early and leave the others stuck at a barrier);
+/// it raises `abort` instead, which the next merge folds into `done`.
+struct Shared {
+    /// Inclusive end of the current round's window.
+    t_last: AtomicU64,
+    /// Set by the coordinator (merge phase only) when no events remain,
+    /// the time bound is reached, the budget is exhausted, or a round
+    /// aborted.
+    done: AtomicBool,
+    /// Raised from the run phase when a handler panics; consumed by the
+    /// next merge.
+    abort: AtomicBool,
+    /// First panic payload raised by any handler, to re-raise after
+    /// cleanup.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    barrier: Barrier,
+}
+
+/// Lock a domain, ignoring poisoning: a poisoned lock only means a
+/// handler panicked, and the panic payload is re-raised after cleanup.
+fn lock(m: &Mutex<Domain>) -> MutexGuard<'_, Domain> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Kernel {
+    /// Install a domain partition for parallel execution.
+    ///
+    /// `domains` must cover every registered module exactly once, and
+    /// any message between modules of *different* domains must be
+    /// scheduled at least `lookahead` ticks in the future (checked at
+    /// runtime on every cross-domain send). Runs use up to `threads`
+    /// worker threads; with `threads <= 1`, a single-entry partition, or
+    /// a tracer installed, [`Kernel::run`] keeps using the sequential
+    /// loop. Registering a new module afterwards discards the partition.
+    ///
+    /// Observable results are byte-identical to the sequential kernel at
+    /// any thread count (see the `domain` module docs for the argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition does not cover every module exactly once
+    /// or if `lookahead` is zero with more than one domain.
+    pub fn set_partition(&mut self, domains: Vec<Vec<ModuleId>>, lookahead: Tick, threads: usize) {
+        let mut seen = vec![false; self.modules.len()];
+        for id in domains.iter().flatten() {
+            assert!(
+                id.index() < self.modules.len(),
+                "partition names unknown module {id}"
+            );
+            assert!(
+                !std::mem::replace(&mut seen[id.index()], true),
+                "module {id} appears in two domains"
+            );
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "partition must cover every module ({} of {} covered)",
+            seen.iter().filter(|&&s| s).count(),
+            seen.len()
+        );
+        assert!(
+            domains.len() <= 1 || lookahead >= 1,
+            "multi-domain partition needs a nonzero lookahead"
+        );
+        self.plan = Some(DomainPlan {
+            domains,
+            lookahead,
+            threads,
+        });
+    }
+
+    /// The installed partition as `(domains, lookahead, threads)`, if
+    /// any — for reporting (the perf harness records `domains` and
+    /// `kernel_threads` in `BENCH_kernel.json`).
+    pub fn partition(&self) -> Option<(usize, Tick, usize)> {
+        self.plan
+            .as_ref()
+            .map(|p| (p.domains.len(), p.lookahead, p.threads))
+    }
+
+    /// Parallel counterpart of the sequential loop in [`Kernel::run`];
+    /// dispatched to when a multi-domain plan with `threads > 1` is
+    /// installed and no tracer is attached.
+    pub(crate) fn run_parallel(&mut self, limit: RunLimit) -> Result<Tick, SimError> {
+        self.out_buf.clear();
+        let plan = self.plan.take().expect("run_parallel without a plan");
+        let module_count = self.modules.len();
+        let d_count = plan.domains.len();
+        let threads = plan.threads.min(d_count).max(1);
+
+        // Module -> domain index (coverage was validated at install).
+        let mut mod_dom = vec![u32::MAX; module_count];
+        for (d, members) in plan.domains.iter().enumerate() {
+            for &m in members {
+                mod_dom[m.index()] = d as u32;
+            }
+        }
+
+        // Deal modules, pending events and packet-id chunks out to the
+        // domains. `drain_all` rewinds the main queue so leftovers can
+        // be pushed back at any tick afterwards.
+        let pkt_id_base = self.next_pkt_id;
+        let mut domains: Vec<Mutex<Domain>> = (0..d_count)
+            .map(|d| {
+                Mutex::new(Domain {
+                    queue: crate::EventQueue::new(),
+                    modules: (0..module_count).map(|_| None).collect(),
+                    log: Vec::new(),
+                    sends: Vec::new(),
+                    out_buf: Vec::new(),
+                    next_pkt_id: pkt_id_base + d as u64 * PKT_ID_CHUNK,
+                    prov_ctr: 0,
+                })
+            })
+            .collect();
+        for (i, module) in self.modules.drain(..).enumerate() {
+            domains[mod_dom[i] as usize].get_mut().unwrap().modules[i] = Some(module);
+        }
+        for (when, seq, (dst, msg)) in self.queue.drain_all() {
+            let d = mod_dom[dst.index()] as usize;
+            domains[d]
+                .get_mut()
+                .unwrap()
+                .queue
+                .push(when, seq, (dst, msg));
+        }
+
+        let shared = Shared {
+            t_last: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            abort: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            barrier: Barrier::new(threads),
+        };
+        let budget_end = self.events_processed.saturating_add(limit.max_events);
+        let mut budget_err = None;
+
+        std::thread::scope(|scope| {
+            for w in 1..threads {
+                let shared = &shared;
+                let domains = &domains;
+                let mod_dom = &mod_dom;
+                scope.spawn(move || loop {
+                    shared.barrier.wait();
+                    if shared.done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let t_last = shared.t_last.load(Ordering::Acquire);
+                    for d in (w..d_count).step_by(threads) {
+                        run_round(d, &mut lock(&domains[d]), t_last, mod_dom, shared);
+                    }
+                    shared.barrier.wait();
+                });
+            }
+            // Worker 0 doubles as the coordinator: it merges the
+            // previous round and opens the next one while the other
+            // workers wait at the first barrier.
+            loop {
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.merge_and_open(&domains, &mod_dom, &plan, limit, budget_end, &shared)
+                }));
+                match res {
+                    Ok(Some(err)) => {
+                        budget_err = Some(err);
+                    }
+                    Ok(None) => {}
+                    Err(payload) => {
+                        let mut slot = shared.panic.lock().unwrap_or_else(|e| e.into_inner());
+                        slot.get_or_insert(payload);
+                        shared.done.store(true, Ordering::Release);
+                    }
+                }
+                shared.barrier.wait();
+                if shared.done.load(Ordering::Acquire) {
+                    break;
+                }
+                let t_last = shared.t_last.load(Ordering::Acquire);
+                for d in (0..d_count).step_by(threads) {
+                    run_round(d, &mut lock(&domains[d]), t_last, &mod_dom, &shared);
+                }
+                shared.barrier.wait();
+            }
+        });
+
+        // Collect the domains back into the kernel (also after a panic,
+        // so stats and module state remain inspectable).
+        let mut restored: Vec<Option<Box<dyn Module>>> = (0..module_count).map(|_| None).collect();
+        for m in domains {
+            let mut dom = m.into_inner().unwrap_or_else(|e| e.into_inner());
+            for (i, slot) in dom.modules.drain(..).enumerate() {
+                if slot.is_some() {
+                    restored[i] = slot;
+                }
+            }
+            for (when, seq, ev) in dom.queue.drain_all() {
+                self.queue.push(when, seq, ev);
+            }
+            self.next_pkt_id = self.next_pkt_id.max(dom.next_pkt_id);
+        }
+        self.modules = restored
+            .into_iter()
+            .map(|slot| slot.expect("domain lost a module"))
+            .collect();
+        self.plan = Some(plan);
+
+        if let Some(payload) = shared
+            .panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            std::panic::resume_unwind(payload);
+        }
+        match budget_err {
+            Some(err) => Err(err),
+            None => Ok(self.time),
+        }
+    }
+
+    /// Coordinator step between rounds: replay-merge the just-finished
+    /// round (if any) in global `(tick, seq)` order, then open the next
+    /// window or finish. Returns the budget error to report, if any.
+    fn merge_and_open(
+        &mut self,
+        domains: &[Mutex<Domain>],
+        mod_dom: &[u32],
+        plan: &DomainPlan,
+        limit: RunLimit,
+        budget_end: u64,
+        shared: &Shared,
+    ) -> Option<SimError> {
+        let mut doms: Vec<MutexGuard<'_, Domain>> = domains.iter().map(lock).collect();
+
+        // --- Replay merge of the previous round's logs. ---
+        let d_count = doms.len();
+        let mut cursors = vec![0usize; d_count];
+        let mut send_cursors = vec![0usize; d_count];
+        // prov_maps[d][n] = definitive seq of domain d's n-th
+        // provisional event; filled as producers are merged, and always
+        // filled before the consumer entry is reached (its producer was
+        // processed earlier in the same domain).
+        let mut prov_maps: Vec<Vec<u64>> = vec![Vec::new(); d_count];
+        loop {
+            let mut best: Option<(Tick, u64, usize)> = None;
+            for d in 0..d_count {
+                if let Some(e) = doms[d].log.get(cursors[d]) {
+                    let seq = if e.seq >= PROV_BASE {
+                        prov_maps[d][(e.seq - PROV_BASE) as usize]
+                    } else {
+                        e.seq
+                    };
+                    if best.is_none_or(|(bw, bs, _)| (e.when, seq) < (bw, bs)) {
+                        best = Some((e.when, seq, d));
+                    }
+                }
+            }
+            let Some((when, seq, d)) = best else { break };
+            let entry = doms[d].log[cursors[d]];
+            cursors[d] += 1;
+            if let Some(probe) = self.order_probe.as_mut() {
+                probe.push((when, seq, entry.dst.index() as u32));
+            }
+            debug_assert!(when >= self.time, "merge order went backwards");
+            self.time = when;
+            self.events_processed += 1;
+            self.virt_len -= 1;
+            for _ in 0..entry.n_sends {
+                let rec = std::mem::replace(&mut doms[d].sends[send_cursors[d]], SendRec::InWindow);
+                send_cursors[d] += 1;
+                match rec {
+                    SendRec::InWindow => {
+                        prov_maps[d].push(self.seq);
+                        self.seq += 1;
+                    }
+                    SendRec::Deferred { when, dst, msg } => {
+                        let dd = mod_dom[dst.index()] as usize;
+                        doms[dd].queue.push(when, self.seq, (dst, msg));
+                        self.seq += 1;
+                    }
+                }
+                self.virt_len += 1;
+                self.virt_peak = self.virt_peak.max(self.virt_len);
+            }
+        }
+        for dom in doms.iter_mut() {
+            // In-window cascades were pushed *and* popped within the
+            // round, so the merge's +1 above is matched by the -1 when
+            // their own log entries replayed.
+            dom.log.clear();
+            dom.sends.clear();
+            dom.prov_ctr = 0;
+        }
+
+        // --- Open the next round. ---
+        if shared.abort.load(Ordering::Acquire) {
+            // A handler panicked last round. The completed events were
+            // merged above (keeping stats consistent); stop here rather
+            // than opening another window. This is the only place the
+            // abort becomes `done` — all workers are parked at the
+            // round-opening barrier, so the transition is race-free.
+            shared.done.store(true, Ordering::Release);
+            return None;
+        }
+        let t_min = doms
+            .iter_mut()
+            .filter_map(|dom| dom.queue.peek_when())
+            .min();
+        match t_min {
+            None => shared.done.store(true, Ordering::Release),
+            Some(t) if t > limit.max_time => shared.done.store(true, Ordering::Release),
+            Some(t_min) => {
+                if self.events_processed >= budget_end {
+                    shared.done.store(true, Ordering::Release);
+                    return Some(SimError::EventLimitExceeded {
+                        limit: limit.max_events,
+                        at: self.time,
+                    });
+                }
+                // Inclusive window end: every event in
+                // [t_min, t_min + lookahead) is safe, and the window
+                // never reaches past max_time.
+                let t_last = t_min.saturating_add(plan.lookahead - 1).min(limit.max_time);
+                shared.t_last.store(t_last, Ordering::Release);
+            }
+        }
+        None
+    }
+}
+
+/// Parallel phase for one domain: drain every event inside the window,
+/// logging effects for the merge.
+fn run_round(d_idx: usize, dom: &mut Domain, t_last: Tick, mod_dom: &[u32], shared: &Shared) {
+    let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        dom.out_buf.clear();
+        while let Some(when) = dom.queue.peek_when() {
+            if when > t_last {
+                break;
+            }
+            let (when, seq, (dst, msg)) = dom.queue.pop().expect("peeked event vanished");
+            let module = dom.modules[dst.index()]
+                .as_mut()
+                .expect("event routed to module outside its domain");
+            let mut ctx = Ctx::internal(when, dst, &mut dom.out_buf, &mut dom.next_pkt_id);
+            module.handle(msg, &mut ctx);
+            let sends_before = dom.sends.len();
+            for (when_s, dst_s, msg_s) in dom.out_buf.drain(..) {
+                assert!(
+                    dst_s.index() < mod_dom.len(),
+                    "message sent to unknown module {dst_s}"
+                );
+                let dd = mod_dom[dst_s.index()] as usize;
+                if dd == d_idx && when_s <= t_last {
+                    // In-window cascade: joins this round immediately
+                    // under a provisional number.
+                    dom.queue
+                        .push(when_s, PROV_BASE + dom.prov_ctr, (dst_s, msg_s));
+                    dom.prov_ctr += 1;
+                    dom.sends.push(SendRec::InWindow);
+                } else {
+                    assert!(
+                        dd == d_idx || when_s > t_last,
+                        "lookahead violation: {dst} -> {dst_s} scheduled {} ticks ahead, \
+                         inside the {}-tick synchronization window",
+                        when_s - when,
+                        t_last - when + 1,
+                    );
+                    dom.sends.push(SendRec::Deferred {
+                        when: when_s,
+                        dst: dst_s,
+                        msg: msg_s,
+                    });
+                }
+            }
+            dom.log.push(LogEntry {
+                when,
+                seq,
+                dst,
+                n_sends: (dom.sends.len() - sends_before) as u32,
+            });
+        }
+    }));
+    if let Err(payload) = work {
+        let mut slot = shared.panic.lock().unwrap_or_else(|e| e.into_inner());
+        slot.get_or_insert(payload);
+        // Raise `abort`, NOT `done`: the round's continue-or-stop
+        // decision was already made by every thread, and flipping `done`
+        // mid-round would let a thread that has not yet *read* it break
+        // one barrier early (see the `Shared` docs). The next merge
+        // turns `abort` into `done` while all workers are parked.
+        shared.abort.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units;
+
+    /// Deterministic ping-pong module: records every delivery, forwards
+    /// a decremented tag to an intra-domain peer at a pseudo-random
+    /// small delay and (every third tag) to a cross-domain peer at
+    /// `cross_delay` plus jitter.
+    struct Pinger {
+        name: String,
+        intra: ModuleId,
+        cross: ModuleId,
+        cross_delay: Tick,
+        log: Vec<(Tick, u64)>,
+        lcg: u64,
+    }
+
+    impl Pinger {
+        fn step(&mut self) -> u64 {
+            self.lcg = self
+                .lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.lcg >> 33
+        }
+    }
+
+    impl Module for Pinger {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx) {
+            let Msg::Timer(tag) = msg else {
+                panic!("unexpected message");
+            };
+            self.log.push((ctx.now(), tag));
+            if tag == 0 {
+                return;
+            }
+            let jitter = self.step();
+            if self.intra.is_valid() {
+                // Mix of zero-delay and short delays: exercises both
+                // in-window cascades and deferred intra-domain sends.
+                ctx.send(self.intra, jitter % 1_500, Msg::Timer(tag - 1));
+            }
+            if self.cross.is_valid() && tag % 3 == 0 {
+                ctx.send(
+                    self.cross,
+                    self.cross_delay + jitter % 700,
+                    Msg::Timer(tag - 1),
+                );
+            }
+        }
+        fn report(&self, out: &mut crate::Stats) {
+            out.add("deliveries", self.log.len() as f64);
+            out.add("last_tick", self.log.last().map_or(0, |&(t, _)| t) as f64);
+        }
+    }
+
+    const LOOKAHEAD: Tick = 1_000;
+
+    /// Two domains of two modules each, ping-ponging within and across.
+    fn build_mesh() -> (Kernel, Vec<ModuleId>, Vec<Vec<ModuleId>>) {
+        let mut k = Kernel::new();
+        let mut ids = Vec::new();
+        for d in 0..2 {
+            for i in 0..2 {
+                ids.push(k.add_module(Box::new(Pinger {
+                    name: format!("p{d}_{i}"),
+                    intra: ModuleId::INVALID,
+                    cross: ModuleId::INVALID,
+                    cross_delay: LOOKAHEAD,
+                    log: Vec::new(),
+                    lcg: 1 + d as u64 * 2 + i as u64,
+                })));
+            }
+        }
+        // Wire: intra ring within each pair, cross to the same slot of
+        // the other domain.
+        let wire = [(0usize, 1, 2), (1, 0, 3), (2, 3, 0), (3, 2, 1)];
+        for &(me, intra, cross) in &wire {
+            let m = k.module_mut::<Pinger>(ids[me]).unwrap();
+            m.intra = ids[intra];
+            m.cross = ids[cross];
+        }
+        let domains = vec![vec![ids[0], ids[1]], vec![ids[2], ids[3]]];
+        (k, ids, domains)
+    }
+
+    fn kickoff(k: &mut Kernel, ids: &[ModuleId]) {
+        k.schedule(0, ids[0], Msg::Timer(40));
+        k.schedule(units::ns(0.5), ids[2], Msg::Timer(37));
+        k.schedule(0, ids[3], Msg::Timer(25));
+    }
+
+    fn logs(k: &Kernel, ids: &[ModuleId]) -> Vec<Vec<(Tick, u64)>> {
+        ids.iter()
+            .map(|&id| k.module::<Pinger>(id).unwrap().log.clone())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_byte_for_byte() {
+        let (mut seq_k, ids, _) = build_mesh();
+        kickoff(&mut seq_k, &ids);
+        let seq_end = seq_k.run_until_idle().unwrap();
+
+        for threads in [2, 4] {
+            let (mut par_k, ids, domains) = build_mesh();
+            par_k.set_partition(domains, LOOKAHEAD, threads);
+            kickoff(&mut par_k, &ids);
+            let par_end = par_k.run_until_idle().unwrap();
+
+            assert_eq!(par_end, seq_end, "final tick at {threads} threads");
+            assert_eq!(par_k.now(), seq_k.now());
+            assert_eq!(par_k.events_processed(), seq_k.events_processed());
+            assert_eq!(par_k.peak_queue_depth(), seq_k.peak_queue_depth());
+            assert_eq!(logs(&par_k, &ids), logs(&seq_k, &ids));
+            assert_eq!(
+                format!("{}", par_k.stats()),
+                format!("{}", seq_k.stats()),
+                "stats diverge at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_run_resumes_across_max_time_slices() {
+        let (mut seq_k, ids, _) = build_mesh();
+        kickoff(&mut seq_k, &ids);
+        seq_k.run_until_idle().unwrap();
+
+        let (mut par_k, ids, domains) = build_mesh();
+        par_k.set_partition(domains, LOOKAHEAD, 2);
+        kickoff(&mut par_k, &ids);
+        // Chop the run into max_time slices; every slice boundary must
+        // leave a consistent, resumable kernel.
+        let mut bound = units::ns(2.0);
+        loop {
+            par_k
+                .run(RunLimit {
+                    max_events: u64::MAX,
+                    max_time: bound,
+                })
+                .unwrap();
+            if par_k.queue.is_empty() {
+                break;
+            }
+            bound += units::ns(2.0);
+        }
+        assert_eq!(par_k.events_processed(), seq_k.events_processed());
+        assert_eq!(logs(&par_k, &ids), logs(&seq_k, &ids));
+    }
+
+    #[test]
+    fn parallel_budget_exhaustion_reports_livelock() {
+        let (mut k, ids, domains) = build_mesh();
+        k.set_partition(domains, LOOKAHEAD, 2);
+        kickoff(&mut k, &ids);
+        let err = k
+            .run(RunLimit {
+                max_events: 10,
+                max_time: Tick::MAX,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::EventLimitExceeded { limit: 10, .. }
+        ));
+    }
+
+    #[test]
+    fn lookahead_violation_is_detected() {
+        let (mut k, ids, domains) = build_mesh();
+        // Claim a lookahead larger than the actual cross delay: the
+        // very first cross-domain send lands inside the window.
+        k.set_partition(domains, LOOKAHEAD * 4, 2);
+        k.schedule(0, ids[0], Msg::Timer(3)); // tag 3 sends cross
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| k.run_until_idle()));
+        let payload = res.expect_err("expected a lookahead violation panic");
+        let text = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            text.contains("lookahead violation"),
+            "unexpected panic: {text}"
+        );
+    }
+
+    #[test]
+    fn partition_is_dropped_when_a_module_is_added() {
+        let (mut k, _, domains) = build_mesh();
+        k.set_partition(domains, LOOKAHEAD, 4);
+        assert_eq!(k.partition(), Some((2, LOOKAHEAD, 4)));
+        k.add_placeholder();
+        assert_eq!(k.partition(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition must cover every module")]
+    fn partition_must_cover_every_module() {
+        let (mut k, ids, _) = build_mesh();
+        k.set_partition(vec![vec![ids[0], ids[1]]], LOOKAHEAD, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in two domains")]
+    fn partition_rejects_overlapping_domains() {
+        let (mut k, ids, _) = build_mesh();
+        k.set_partition(
+            vec![vec![ids[0], ids[1], ids[2]], vec![ids[2], ids[3]]],
+            LOOKAHEAD,
+            2,
+        );
+    }
+}

@@ -30,10 +30,13 @@
 //! ```
 #![warn(missing_docs)]
 
+mod domain;
+pub mod fxmap;
 mod hist;
 mod kernel;
 mod msg;
 mod packet;
+mod pool;
 pub mod sched;
 mod stats;
 mod trace;
@@ -59,10 +62,12 @@ pub mod streams {
     pub const WRITEBACK: u16 = 0xFFFF;
 }
 
+pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use hist::Histogram;
 pub use kernel::{Ctx, Kernel, RunLimit, SimError};
 pub use msg::{CreditClass, Msg};
 pub use packet::{MemCmd, Packet, RouteStack, MAX_ROUTE_DEPTH};
+pub use pool::{PacketBox, PacketPool, PoolStats};
 pub use sched::{BaselineQueue, EventQueue};
 pub use stats::Stats;
 pub use trace::{PacketTrace, TraceRow, Tracer};
@@ -132,7 +137,11 @@ impl<T: 'static> AsAny for T {
 /// Modules own their state, never hold references to each other, and react
 /// to [`Msg`]s delivered by the [`Kernel`]. Outgoing messages are scheduled
 /// through the [`Ctx`] passed to [`Module::handle`].
-pub trait Module: AsAny + 'static {
+///
+/// Modules must be [`Send`]: the parallel domain engine (see
+/// [`Kernel::set_partition`]) moves each domain's modules onto a worker
+/// thread for the duration of a run.
+pub trait Module: AsAny + Send + 'static {
     /// Short instance name used to prefix statistics (e.g. `"pcie.rc"`).
     fn name(&self) -> &str;
 

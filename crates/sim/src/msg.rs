@@ -1,6 +1,6 @@
 //! Messages exchanged between modules.
 
-use crate::Packet;
+use crate::{Packet, PacketBox, PacketPool};
 use std::any::Any;
 
 /// PCIe flow-control credit class.
@@ -39,16 +39,16 @@ impl CreditClass {
 ///
 /// `Msg` values are the payload of every event-queue node, so the enum is
 /// deliberately kept small (currently 24 bytes): the large [`Packet`]
-/// body lives behind a box, which keeps queue operations from memcpying
-/// ~100-byte packets on every sift. Forwarding modules move the box
-/// through unchanged, so a packet is allocated once per hop at most —
-/// construct with [`Msg::packet`] and re-send the received box when
-/// relaying.
+/// body lives behind a pooled box ([`PacketBox`]), which keeps queue
+/// operations from memcpying ~100-byte packets on every sift. Forwarding
+/// modules move the box through unchanged, so a packet is allocated once
+/// per lifetime at most — and [`Msg::packet`] recycles storage through
+/// the [`PacketPool`], so steady state allocates nothing at all.
 #[derive(Debug)]
 pub enum Msg {
     /// A memory transaction or PCIe TLP (the hot path). Boxed so event
     /// nodes stay small; see [`Msg::packet`].
-    Packet(Box<Packet>),
+    Packet(PacketBox),
     /// Flow-control credit return for `bytes` of buffer space.
     Credit {
         /// Credit pool being replenished.
@@ -65,10 +65,16 @@ pub enum Msg {
     Custom(Box<dyn Any + Send>),
 }
 
+// Compile-time regression guard: event-queue nodes carry `Msg` inline,
+// so any growth here multiplies across every queue operation. PR 3 got
+// this from 104 to 24 bytes; keep it there.
+const _: () = assert!(std::mem::size_of::<Msg>() <= 24, "Msg grew past 24 bytes");
+
 impl Msg {
-    /// Wrap a packet (boxing it; see the enum-level note on node size).
+    /// Wrap a packet (boxing it through the [`PacketPool`]; see the
+    /// enum-level note on node size).
     pub fn packet(pkt: Packet) -> Self {
-        Msg::Packet(Box::new(pkt))
+        Msg::Packet(PacketPool::alloc(pkt))
     }
 
     /// Wrap a control-plane value.

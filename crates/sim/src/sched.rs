@@ -276,6 +276,34 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Remove every queued event as unsorted `(when, seq, payload)`
+    /// triples and rewind the window to tick 0 (peak statistics are
+    /// kept).
+    ///
+    /// Unlike pop-draining, rewinding means the emptied queue can
+    /// immediately accept re-pushes at *any* tick — pops would have
+    /// advanced `base_bucket` past earlier events. The parallel domain
+    /// engine ([`crate::Kernel::set_partition`]) uses this to deal the
+    /// main queue out to per-domain queues at the start of a run and to
+    /// collect leftovers back afterwards.
+    pub fn drain_all(&mut self) -> Vec<(Tick, u64, T)> {
+        let mut out = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            for e in bucket.drain(..) {
+                out.push((e.when, e.seq, e.payload));
+            }
+        }
+        for FarEntry(e) in std::mem::take(&mut self.far) {
+            out.push((e.when, e.seq, e.payload));
+        }
+        self.occupied = [0; WORDS];
+        self.base_bucket = 0;
+        self.sorted_bucket = None;
+        self.front_cache = None;
+        self.len = 0;
+        out
+    }
+
     /// Remove and return the earliest event as `(when, seq, payload)`.
     pub fn pop(&mut self) -> Option<(Tick, u64, T)> {
         if self.len == 0 {
@@ -574,6 +602,28 @@ mod tests {
         q.push(1, 1, "start");
         assert_eq!(q.pop(), Some((1, 1, "start")));
         assert_eq!(q.pop(), Some((Tick::MAX, 0, "end")));
+    }
+
+    #[test]
+    fn drain_all_empties_and_rewinds_the_window() {
+        let mut q = EventQueue::new();
+        let horizon = BUCKET_TICKS * NUM_BUCKETS as u64;
+        q.push(40, 0, "near");
+        q.push(horizon * 2, 1, "far");
+        // Advance the window past tick 40 before draining.
+        assert_eq!(q.pop(), Some((40, 0, "near")));
+        q.push(horizon * 2 + 1, 2, "far2");
+        let mut drained = q.drain_all();
+        drained.sort_by_key(|&(w, s, _)| (w, s));
+        assert_eq!(
+            drained,
+            vec![(horizon * 2, 1, "far"), (horizon * 2 + 1, 2, "far2")]
+        );
+        assert!(q.is_empty());
+        // The rewound window accepts pushes earlier than the old cursor.
+        q.push(5, 3, "early");
+        assert_eq!(q.pop(), Some((5, 3, "early")));
+        assert_eq!(q.peak_len(), 2);
     }
 
     #[test]

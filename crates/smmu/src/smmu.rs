@@ -1,7 +1,10 @@
 //! SMMU: µTLB + page-table walker.
 
-use accesys_sim::{streams, units, Ctx, MemCmd, Module, ModuleId, Msg, Packet, Stats, Tick};
-use std::collections::{HashMap, VecDeque};
+use accesys_sim::FxHashMap;
+use accesys_sim::{
+    streams, units, Ctx, MemCmd, Module, ModuleId, Msg, Packet, PacketBox, Stats, Tick,
+};
+use std::collections::VecDeque;
 
 /// Configuration of an [`Smmu`].
 #[derive(Copy, Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -93,7 +96,7 @@ struct Walk {
     vpn: u64,
     level: u32,
     started: Tick,
-    waiting: Vec<(Box<Packet>, Tick)>,
+    waiting: Vec<(PacketBox, Tick)>,
 }
 
 /// The System MMU.
@@ -108,14 +111,14 @@ pub struct Smmu {
     cfg: SmmuConfig,
     downstream: ModuleId,
     /// vpn -> lru tick.
-    tlb: HashMap<u64, u64>,
+    tlb: FxHashMap<u64, u64>,
     lru_clock: u64,
     /// key: vpn of the penultimate-level table page group.
-    walk_cache: HashMap<u64, u64>,
-    walks: HashMap<u32, Walk>,
-    walk_queue: VecDeque<(Box<Packet>, Tick)>,
+    walk_cache: FxHashMap<u64, u64>,
+    walks: FxHashMap<u32, Walk>,
+    walk_queue: VecDeque<(PacketBox, Tick)>,
     /// vpn -> walk tag, to coalesce concurrent misses on one page.
-    walking_vpns: HashMap<u64, u32>,
+    walking_vpns: FxHashMap<u64, u32>,
     next_walk_tag: u32,
     stats: SmmuStats,
 }
@@ -129,12 +132,12 @@ impl Smmu {
             name: name.to_string(),
             cfg,
             downstream,
-            tlb: HashMap::new(),
+            tlb: FxHashMap::default(),
             lru_clock: 0,
-            walk_cache: HashMap::new(),
-            walks: HashMap::new(),
+            walk_cache: FxHashMap::default(),
+            walks: FxHashMap::default(),
             walk_queue: VecDeque::new(),
-            walking_vpns: HashMap::new(),
+            walking_vpns: FxHashMap::default(),
             next_walk_tag: 0,
             stats: SmmuStats::default(),
         }
@@ -172,7 +175,9 @@ impl Smmu {
 
     fn tlb_install(&mut self, vpn: u64) {
         if self.tlb.len() >= self.cfg.tlb_entries as usize && !self.tlb.contains_key(&vpn) {
-            if let Some((&victim, _)) = self.tlb.iter().min_by_key(|&(_, &lru)| lru) {
+            // Tie-break equal LRU stamps by key: map iteration order must
+            // never pick the victim (see walk_cache_install).
+            if let Some((&victim, _)) = self.tlb.iter().min_by_key(|&(&vpn, &lru)| (lru, vpn)) {
                 self.tlb.remove(&victim);
             }
         }
@@ -207,7 +212,13 @@ impl Smmu {
         if self.walk_cache.len() >= self.cfg.walk_cache_entries as usize
             && !self.walk_cache.contains_key(&key)
         {
-            if let Some((&victim, _)) = self.walk_cache.iter().min_by_key(|&(_, &lru)| lru) {
+            // Tie-break equal LRU stamps by key: HashMap iteration order
+            // is process-random and must not pick the victim.
+            if let Some((&victim, _)) = self
+                .walk_cache
+                .iter()
+                .min_by_key(|&(&key, &lru)| (lru, key))
+            {
                 self.walk_cache.remove(&victim);
             }
         }
@@ -225,7 +236,7 @@ impl Smmu {
         entry & !63
     }
 
-    fn forward_translated(&mut self, mut pkt: Box<Packet>, ctx: &mut Ctx) {
+    fn forward_translated(&mut self, mut pkt: PacketBox, ctx: &mut Ctx) {
         pkt.addr = self.translate(pkt.addr);
         pkt.virt = false;
         pkt.route.push(ctx.self_id());
@@ -236,7 +247,7 @@ impl Smmu {
         );
     }
 
-    fn start_walk(&mut self, pkt: Box<Packet>, arrived: Tick, ctx: &mut Ctx) {
+    fn start_walk(&mut self, pkt: PacketBox, arrived: Tick, ctx: &mut Ctx) {
         let vpn = self.vpn_of(pkt.addr);
         if let Some(&tag) = self.walking_vpns.get(&vpn) {
             // Coalesce with the in-flight walk for this page.
