@@ -1,0 +1,336 @@
+//! Deadline-guarded pipe transport under every child-process protocol.
+//!
+//! [`ChildWorker`](crate::worker::ChildWorker) (the accelerator process
+//! model) and the fleet layer's host workers both speak newline-framed
+//! commands plus raw byte blocks over a child's stdin/stdout. The naive
+//! way to read those pipes — a blocking `read_line` — hangs the whole
+//! simulation if the child dies without closing its pipe or simply stops
+//! answering. [`PipeChild`] is the shared fix: every read first waits
+//! for the pipe to become readable (bounded slices, `poll(2)` on
+//! Linux), checks child liveness between slices, and gives up with a
+//! typed [`TransportError`] once a configurable deadline passes.
+//! Dropping the handle never leaks a process: the child gets a short
+//! grace to exit on its own, then is killed and reaped.
+//!
+//! On non-Linux targets there is no portable readiness probe without a
+//! dependency, so reads degrade to the old blocking behavior after a
+//! liveness check — an already-dead child is still detected, a wedged
+//! live one is not.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How a pipe conversation with a child process failed.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The pipe itself failed (spawn, write, or read error).
+    Io(std::io::Error),
+    /// The child exited or closed its pipe mid-conversation; carries
+    /// the exit code when the child was already reapable.
+    Died {
+        /// Exit code, if the child had already terminated normally.
+        status: Option<i32>,
+    },
+    /// The child stayed alive but sent nothing for the whole read
+    /// deadline.
+    Timeout {
+        /// How long the reader waited before giving up.
+        waited: Duration,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "child pipe i/o failed: {e}"),
+            TransportError::Died { status: Some(c) } => {
+                write!(f, "child process died mid-conversation (exit code {c})")
+            }
+            TransportError::Died { status: None } => {
+                write!(f, "child process died or closed its pipe mid-conversation")
+            }
+            TransportError::Timeout { waited } => {
+                write!(
+                    f,
+                    "child process sent nothing for {:.1}s (read deadline)",
+                    waited.as_secs_f64()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// A spawned child process with deadline-guarded pipe I/O.
+///
+/// Protocol layers own one of these and frame their own commands over
+/// [`PipeChild::send_line`] / [`PipeChild::read_line`] plus raw blocks
+/// via [`PipeChild::write_all`] / [`PipeChild::read_exact`].
+#[derive(Debug)]
+pub struct PipeChild {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+    deadline: Duration,
+}
+
+/// Readiness-poll slice: liveness is re-checked this often while a
+/// read waits for data.
+const POLL_SLICE: Duration = Duration::from_millis(25);
+
+/// Grace given to a child to exit on its own at drop before it is
+/// killed.
+const DROP_GRACE: Duration = Duration::from_millis(500);
+
+impl PipeChild {
+    /// Default read deadline ([`PipeChild::set_read_deadline`] to
+    /// change): generous enough for any in-tree request, small enough
+    /// that a wedged child cannot hang a sweep forever.
+    pub const DEFAULT_READ_DEADLINE: Duration = Duration::from_secs(120);
+
+    /// Spawn `path` with piped stdin/stdout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spawn error (missing binary, exec failure).
+    pub fn spawn(path: &std::path::Path) -> std::io::Result<PipeChild> {
+        let mut child = Command::new(path)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        Ok(PipeChild {
+            child,
+            stdin,
+            stdout,
+            deadline: Self::DEFAULT_READ_DEADLINE,
+        })
+    }
+
+    /// Change the per-read deadline (a whole `read_line`/`read_exact`
+    /// call must finish within it).
+    pub fn set_read_deadline(&mut self, deadline: Duration) {
+        self.deadline = deadline.max(Duration::from_millis(1));
+    }
+
+    /// Whether the child is still running (a reaped child is gone).
+    pub fn is_alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+
+    fn died(&mut self) -> TransportError {
+        let status = match self.child.try_wait() {
+            Ok(Some(status)) => status.code(),
+            _ => None,
+        };
+        TransportError::Died { status }
+    }
+
+    /// Send one newline-terminated command line.
+    ///
+    /// # Errors
+    ///
+    /// A broken pipe is reported as [`TransportError::Died`] (the child
+    /// is gone), anything else as [`TransportError::Io`].
+    pub fn send_line(&mut self, line: &str) -> Result<(), TransportError> {
+        self.write_all(line.as_bytes())?;
+        self.write_all(b"\n")?;
+        self.flush()
+    }
+
+    /// Write a raw byte block to the child's stdin.
+    ///
+    /// # Errors
+    ///
+    /// Same mapping as [`PipeChild::send_line`].
+    pub fn write_all(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        self.stdin.write_all(bytes).map_err(|e| self.write_err(e))
+    }
+
+    /// Flush the child's stdin.
+    ///
+    /// # Errors
+    ///
+    /// Same mapping as [`PipeChild::send_line`].
+    pub fn flush(&mut self) -> Result<(), TransportError> {
+        self.stdin.flush().map_err(|e| self.write_err(e))
+    }
+
+    fn write_err(&mut self, e: std::io::Error) -> TransportError {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            self.died()
+        } else {
+            TransportError::Io(e)
+        }
+    }
+
+    /// Read one line (without the trailing newline), under the read
+    /// deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Died`] on EOF or a dead child,
+    /// [`TransportError::Timeout`] when the deadline passes with the
+    /// child still alive, [`TransportError::Io`] for pipe errors.
+    pub fn read_line(&mut self) -> Result<String, TransportError> {
+        let start = Instant::now();
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            if self.stdout.buffer().is_empty() {
+                self.wait_readable(start)?;
+            }
+            let available = self.stdout.fill_buf()?;
+            if available.is_empty() {
+                return Err(self.died()); // EOF
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    line.extend_from_slice(&available[..pos]);
+                    self.stdout.consume(pos + 1);
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map_err(|e| TransportError::Io(std::io::Error::other(e)));
+                }
+                None => {
+                    let n = available.len();
+                    line.extend_from_slice(available);
+                    self.stdout.consume(n);
+                }
+            }
+        }
+    }
+
+    /// Fill `out` exactly from the child's stdout, under the read
+    /// deadline.
+    ///
+    /// # Errors
+    ///
+    /// Same taxonomy as [`PipeChild::read_line`]; EOF mid-block (a
+    /// truncated block from a dying child) is [`TransportError::Died`].
+    pub fn read_exact(&mut self, out: &mut [u8]) -> Result<(), TransportError> {
+        let start = Instant::now();
+        let mut filled = 0usize;
+        while filled < out.len() {
+            if self.stdout.buffer().is_empty() {
+                self.wait_readable(start)?;
+            }
+            let available = self.stdout.fill_buf()?;
+            if available.is_empty() {
+                return Err(self.died()); // EOF mid-block
+            }
+            let n = available.len().min(out.len() - filled);
+            out[filled..filled + n].copy_from_slice(&available[..n]);
+            self.stdout.consume(n);
+            filled += n;
+        }
+        Ok(())
+    }
+
+    /// Wait (in liveness-checked slices) until the pipe is readable.
+    /// Data a dead child left behind still polls readable, so death is
+    /// only reported when the pipe is drained *and* the child is gone.
+    #[cfg(target_os = "linux")]
+    fn wait_readable(&mut self, start: Instant) -> Result<(), TransportError> {
+        use std::os::unix::io::AsRawFd;
+        let fd = self.stdout.get_ref().as_raw_fd();
+        loop {
+            if poll_readable(fd, POLL_SLICE)? {
+                return Ok(());
+            }
+            if let Ok(Some(status)) = self.child.try_wait() {
+                return Err(TransportError::Died {
+                    status: status.code(),
+                });
+            }
+            let waited = start.elapsed();
+            if waited >= self.deadline {
+                return Err(TransportError::Timeout { waited });
+            }
+        }
+    }
+
+    /// Fallback without a readiness probe: one liveness check, then let
+    /// the caller block (pre-deadline behavior, minus the dead-child
+    /// hang).
+    #[cfg(not(target_os = "linux"))]
+    fn wait_readable(&mut self, _start: Instant) -> Result<(), TransportError> {
+        if let Ok(Some(status)) = self.child.try_wait() {
+            return Err(TransportError::Died {
+                status: status.code(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for PipeChild {
+    fn drop(&mut self) {
+        // Protocol layers say their goodbyes (EXIT) before this runs;
+        // here we only guarantee the process cannot outlive its handle:
+        // a cooperative child gets a short grace to exit on its own, an
+        // uncooperative (or wedged) one is killed and reaped.
+        let _ = self.stdin.flush();
+        let start = Instant::now();
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) if start.elapsed() < DROP_GRACE => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                _ => break,
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// `poll(2)` the fd for readability for up to `timeout`.
+#[cfg(target_os = "linux")]
+fn poll_readable(fd: i32, timeout: Duration) -> std::io::Result<bool> {
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+    const POLLIN: i16 = 0x001;
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+    let mut p = PollFd {
+        fd,
+        events: POLLIN,
+        revents: 0,
+    };
+    let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+    loop {
+        let rc = unsafe { poll(&mut p, 1, timeout_ms) };
+        if rc < 0 {
+            let e = std::io::Error::last_os_error();
+            if e.kind() == std::io::ErrorKind::Interrupted {
+                continue;
+            }
+            return Err(e);
+        }
+        return Ok(rc > 0);
+    }
+}

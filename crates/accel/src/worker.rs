@@ -23,10 +23,11 @@
 //! > EXIT
 //! ```
 
+use crate::transport::{PipeChild, TransportError};
 use crate::{GemmOperands, SystolicArray, SystolicConfig};
 use accesys_sim::Tick;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::io::{BufRead, Read, Write};
+use std::time::Duration;
 
 /// Errors talking to a worker child process.
 #[derive(Debug)]
@@ -35,6 +36,12 @@ pub enum WorkerError {
     Io(std::io::Error),
     /// The child answered with something the protocol does not allow.
     Protocol(String),
+    /// The child died (or closed its pipe) mid-request; carries the
+    /// exit code when the child was already reapable.
+    Died(Option<i32>),
+    /// The child stayed alive but answered nothing within the read
+    /// deadline.
+    Timeout(Duration),
 }
 
 impl std::fmt::Display for WorkerError {
@@ -42,6 +49,17 @@ impl std::fmt::Display for WorkerError {
         match self {
             WorkerError::Io(e) => write!(f, "worker i/o failed: {e}"),
             WorkerError::Protocol(line) => write!(f, "worker protocol violation: {line:?}"),
+            WorkerError::Died(Some(code)) => {
+                write!(f, "worker child died mid-request (exit code {code})")
+            }
+            WorkerError::Died(None) => {
+                write!(f, "worker child died or closed its pipe mid-request")
+            }
+            WorkerError::Timeout(waited) => write!(
+                f,
+                "worker child answered nothing for {:.1}s (read deadline)",
+                waited.as_secs_f64()
+            ),
         }
     }
 }
@@ -50,7 +68,7 @@ impl std::error::Error for WorkerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             WorkerError::Io(e) => Some(e),
-            WorkerError::Protocol(_) => None,
+            _ => None,
         }
     }
 }
@@ -61,14 +79,28 @@ impl From<std::io::Error> for WorkerError {
     }
 }
 
+impl From<TransportError> for WorkerError {
+    fn from(e: TransportError) -> Self {
+        match e {
+            TransportError::Io(e) => WorkerError::Io(e),
+            TransportError::Died { status } => WorkerError::Died(status),
+            TransportError::Timeout { waited } => WorkerError::Timeout(waited),
+        }
+    }
+}
+
 /// Handle to a spawned `matrixflow-worker` child process.
 ///
-/// Dropping the handle sends `EXIT` and reaps the child.
+/// Dropping the handle sends `EXIT` and reaps the child; a child that
+/// ignores both the command and the closed pipe is killed (the
+/// [`PipeChild`] drop contract), so a wedged worker can never leak past
+/// its handle. Reads carry [`PipeChild`]'s deadline and liveness
+/// checks: a child that dies or stops answering mid-request surfaces
+/// as [`WorkerError::Died`] / [`WorkerError::Timeout`] instead of
+/// hanging the simulation.
 #[derive(Debug)]
 pub struct ChildWorker {
-    child: Child,
-    stdin: ChildStdin,
-    stdout: BufReader<ChildStdout>,
+    pipe: PipeChild,
     /// Timing round-trips served by the child.
     time_queries: u64,
     /// Functional GEMMs served by the child.
@@ -83,16 +115,8 @@ impl ChildWorker {
     /// Returns [`WorkerError::Io`] if the process cannot be spawned, and
     /// [`WorkerError::Protocol`] if it fails the initial `PING`.
     pub fn spawn(path: &std::path::Path) -> Result<Self, WorkerError> {
-        let mut child = Command::new(path)
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .spawn()?;
-        let stdin = child.stdin.take().expect("stdin piped");
-        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
         let mut worker = ChildWorker {
-            child,
-            stdin,
-            stdout,
+            pipe: PipeChild::spawn(path)?,
             time_queries: 0,
             gemms: 0,
         };
@@ -104,20 +128,19 @@ impl ChildWorker {
         Ok(worker)
     }
 
+    /// Change the per-read deadline (default
+    /// [`PipeChild::DEFAULT_READ_DEADLINE`]).
+    pub fn set_read_deadline(&mut self, deadline: Duration) {
+        self.pipe.set_read_deadline(deadline);
+    }
+
     fn send_line(&mut self, line: &str) -> Result<(), WorkerError> {
-        self.stdin.write_all(line.as_bytes())?;
-        self.stdin.write_all(b"\n")?;
-        self.stdin.flush()?;
+        self.pipe.send_line(line)?;
         Ok(())
     }
 
     fn read_line(&mut self) -> Result<String, WorkerError> {
-        let mut line = String::new();
-        let n = self.stdout.read_line(&mut line)?;
-        if n == 0 {
-            return Err(WorkerError::Protocol("worker closed its pipe".into()));
-        }
-        Ok(line.trim_end().to_string())
+        Ok(self.pipe.read_line()?)
     }
 
     /// Ask the child for the block compute time — same semantics as
@@ -159,15 +182,20 @@ impl ChildWorker {
     pub fn run_gemm(&mut self, ops: &GemmOperands) -> Result<(), WorkerError> {
         let (m, n, k) = ops.dims();
         self.send_line(&format!("GEMM {m} {n} {k}"))?;
-        write_i32s(&mut self.stdin, ops.a())?;
-        write_i32s(&mut self.stdin, ops.b())?;
-        self.stdin.flush()?;
+        self.pipe.write_all(&le_bytes(ops.a()))?;
+        self.pipe.write_all(&le_bytes(ops.b()))?;
+        self.pipe.flush()?;
         self.gemms += 1;
         let reply = self.read_line()?;
         if reply != "DONE" {
             return Err(WorkerError::Protocol(reply));
         }
-        let c = read_i32s(&mut self.stdout, m * n)?;
+        let mut buf = vec![0u8; m * n * 4];
+        self.pipe.read_exact(&mut buf)?;
+        let c = buf
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
         ops.set_result(c);
         Ok(())
     }
@@ -185,9 +213,10 @@ impl ChildWorker {
 
 impl Drop for ChildWorker {
     fn drop(&mut self) {
-        // Best-effort shutdown; never fail in a destructor.
+        // Best-effort polite shutdown; never fail in a destructor. The
+        // inner PipeChild's drop then bounds the wait and kills a child
+        // that does not exit on its own.
         let _ = self.send_line("EXIT");
-        let _ = self.child.wait();
     }
 }
 
@@ -238,13 +267,18 @@ impl ComputeBackend {
     }
 }
 
-/// Write a slice of i32 values as little-endian bytes.
-fn write_i32s<W: Write>(w: &mut W, vals: &[i32]) -> std::io::Result<()> {
+/// A slice of i32 values as little-endian bytes.
+fn le_bytes(vals: &[i32]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(vals.len() * 4);
     for v in vals {
         buf.extend_from_slice(&v.to_le_bytes());
     }
-    w.write_all(&buf)
+    buf
+}
+
+/// Write a slice of i32 values as little-endian bytes.
+fn write_i32s<W: Write>(w: &mut W, vals: &[i32]) -> std::io::Result<()> {
+    w.write_all(&le_bytes(vals))
 }
 
 /// Read exactly `count` little-endian i32 values.

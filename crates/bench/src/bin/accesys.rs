@@ -23,7 +23,7 @@
 //! with its line and field — never a panic.
 
 use accesys_bench::specs::LIBRARY;
-use accesys_bench::{decode, fig2, graph, serve, topo, Scale};
+use accesys_bench::{decode, fig2, fleet, graph, serve, topo, Scale};
 use accesys_exp::cli::{self, Cli, CliError};
 use accesys_spec::{Scenario, Spec, SpecError};
 
@@ -48,6 +48,11 @@ run flags:
   --kernel-threads N
                   parallel domain-engine threads per simulation
                   (overrides the spec's [kernel] threads; results are
+                  byte-identical at any value)
+  --fleet-workers N
+                  worker OS processes for fleet scenarios, 0 = run the
+                  host shards in-process (overrides the spec's [fleet]
+                  workers and ACCESYS_FLEET_WORKERS; results are
                   byte-identical at any value)";
 
 fn main() {
@@ -79,7 +84,7 @@ fn split_args(args: &[String]) -> Result<(Vec<&str>, Cli), CliError> {
     let mut flags = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        if arg == "--jobs" || arg == "-j" || arg == "--kernel-threads" {
+        if arg == "--jobs" || arg == "-j" || arg == "--kernel-threads" || arg == "--fleet-workers" {
             flags.push(arg.clone());
             if let Some(value) = iter.next() {
                 flags.push(value.clone());
@@ -148,6 +153,7 @@ fn cmd_run(args: &[String]) -> i32 {
         Scenario::Pipeline(sc) => graph::run_cli_for(sc, &cli),
         Scenario::Serving(sc) => serve::run_cli_for(sc, &cli),
         Scenario::Decode(sc) => decode::run_cli_for(sc, &cli),
+        Scenario::Fleet(sc) => fleet::run_cli_for(sc, &cli),
     };
     if cli.json {
         cli::emit_json(&value);
@@ -233,5 +239,8 @@ fn sweep_label(sc: &Scenario) -> String {
             s.shapes.len(),
             s.budgets.len()
         ),
+        Scenario::Fleet(s) => {
+            format!("{} host counts x {} shapes", s.hosts.len(), s.shapes.len())
+        }
     }
 }

@@ -1,0 +1,181 @@
+//! Fleet performance harness: drives the 1024-endpoint committed fleet
+//! point through worker process pools and records the bench trajectory
+//! (`BENCH_fleet.json`, via `--json` + redirect in CI).
+//!
+//! One point, measured twice:
+//!
+//! * **1 worker** — every host shard simulated sequentially in one
+//!   worker process (the protocol overhead is paid, the parallelism
+//!   is not).
+//! * **4 workers** — the same shards spread over four processes.
+//!
+//! Two acceptance gates:
+//!
+//! * the two merged reports must be **byte-identical** (the fleet
+//!   determinism contract) — always enforced;
+//! * the 4-worker run must beat the 1-worker run by > 1.5× wall-clock
+//!   — enforced only when the machine has ≥ 4 cores (a 1-core runner
+//!   cannot speed up, and says so on stderr instead of failing).
+//!
+//! Each pool is reused across all reps of its measurement;
+//! `workers_spawned` in the report equals the pool size, proving the
+//! processes are spawned once, not once per run.
+//!
+//! Flags: `--json` (machine-readable report on stdout), `--jobs`/`--full`
+//! accepted for CLI uniformity but ignored (single-point measurement).
+
+use accesys_bench::{fleet, Scale};
+use accesys_exp::cli::Cli;
+use accesys_fleet::FleetPool;
+use std::time::Instant;
+
+const REPS: usize = 3;
+const SPEEDUP_BAR: f64 = 1.5;
+
+/// The bench-trajectory record emitted as `BENCH_fleet.json`.
+#[derive(Debug, serde::Serialize)]
+struct FleetPerfReport {
+    /// Host count of the measured point.
+    hosts: u32,
+    /// Per-host tree shape of the measured point.
+    shape: String,
+    /// Total accelerator endpoints simulated (the 1000+ headline).
+    endpoints: u64,
+    /// Arrivals offered fleet-wide (a determinism canary).
+    offered: u64,
+    /// Requests completed fleet-wide (determinism canary).
+    completed: u64,
+    /// Batching rounds across all hosts (determinism canary).
+    rounds: u64,
+    /// Cores the harness saw (`available_parallelism`).
+    cores: usize,
+    /// Worker processes spawned over all 1-worker reps (= 1 proves
+    /// pool reuse).
+    workers_spawned_1w: u64,
+    /// Worker processes spawned over all 4-worker reps (= 4 proves
+    /// pool reuse).
+    workers_spawned_4w: u64,
+    /// Wall-clock of the best 1-worker rep, milliseconds.
+    wall_ms_1w: f64,
+    /// Wall-clock of the best 4-worker rep, milliseconds.
+    wall_ms_4w: f64,
+    /// `wall_ms_1w / wall_ms_4w` — the acceptance bar is > 1.5 on
+    /// machines with ≥ 4 cores.
+    speedup: f64,
+    /// Whether the speedup bar was enforced on this machine.
+    bar_enforced: bool,
+}
+
+/// Best-of-`REPS` wall clock of the point on a reused pool; returns
+/// (best wall ms, merged report pretty-JSON, processes spawned, the
+/// last merged report).
+fn measure(
+    pool: &mut FleetPool,
+    spec: &accesys_fleet::FleetSpec,
+) -> (f64, String, u64, accesys_fleet::FleetReport) {
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let report = pool.run(spec).unwrap_or_else(|e| panic!("fleet run: {e}"));
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+        }
+        last = Some(report);
+    }
+    let report = last.expect("at least one rep ran");
+    let json = serde_json::to_string_pretty(&serde::Serialize::to_value(&report))
+        .expect("fleet reports serialize");
+    (best_ms, json, pool.spawned(), report)
+}
+
+fn main() {
+    let cli = Cli::from_env("fleet_perf");
+
+    let sc = fleet::scenario();
+    let &hosts = sc.hosts.iter().max().expect("hosts swept");
+    let shape = sc.shapes.last().expect("shapes swept").clone();
+    let spec = fleet::lower(sc, hosts, &shape, Scale::Quick);
+    let endpoints = sc.endpoints(hosts, &shape);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "# fleet_perf: {hosts} hosts x {shape} trees = {endpoints} endpoints, \
+         1 vs 4 worker processes ({REPS} reps each, {cores} cores)..."
+    );
+
+    let (wall_ms_1w, json_1w, spawned_1w, merged) = measure(&mut fleet::pool(1), &spec);
+    let (wall_ms_4w, json_4w, spawned_4w, _) = measure(&mut fleet::pool(4), &spec);
+
+    // The determinism contract is unconditional: the merged report must
+    // not depend on how many processes computed it.
+    if json_1w != json_4w {
+        eprintln!("fleet_perf: 1-worker and 4-worker reports differ — determinism violation");
+        std::process::exit(1);
+    }
+
+    let speedup = wall_ms_1w / wall_ms_4w;
+    let bar_enforced = cores >= 4;
+    let report = FleetPerfReport {
+        hosts,
+        shape,
+        endpoints,
+        offered: merged.offered,
+        completed: merged.completed,
+        rounds: merged.rounds,
+        cores,
+        workers_spawned_1w: spawned_1w,
+        workers_spawned_4w: spawned_4w,
+        wall_ms_1w,
+        wall_ms_4w,
+        speedup,
+        bar_enforced,
+    };
+
+    if cli.json {
+        accesys_exp::cli::emit_json(&serde::Serialize::to_value(&report));
+    } else {
+        println!("# fleet perf harness (1024-endpoint fleet, 1 vs 4 worker processes)");
+        println!("{:<34} {:>14}", "hosts", report.hosts);
+        println!("{:<34} {:>14}", "per-host shape", report.shape);
+        println!("{:<34} {:>14}", "endpoints", report.endpoints);
+        println!("{:<34} {:>14}", "offered", report.offered);
+        println!("{:<34} {:>14}", "completed", report.completed);
+        println!("{:<34} {:>14}", "rounds", report.rounds);
+        println!("{:<34} {:>14}", "cores", report.cores);
+        println!(
+            "{:<34} {:>14}",
+            "spawned (1w pool)", report.workers_spawned_1w
+        );
+        println!(
+            "{:<34} {:>14}",
+            "spawned (4w pool)", report.workers_spawned_4w
+        );
+        println!("{:<34} {:>14.1}", "wall ms (1 worker)", report.wall_ms_1w);
+        println!("{:<34} {:>14.1}", "wall ms (4 workers)", report.wall_ms_4w);
+        println!("{:<34} {:>14.2}", "speedup", report.speedup);
+    }
+
+    // Pool reuse is part of the contract: one spawn per slot for the
+    // whole rep loop, never one per run.
+    if spawned_1w != 1 || spawned_4w != 4 {
+        eprintln!(
+            "fleet_perf: pools respawned workers across reps \
+             (1w spawned {spawned_1w}, 4w spawned {spawned_4w})"
+        );
+        std::process::exit(1);
+    }
+    if bar_enforced && speedup <= SPEEDUP_BAR {
+        eprintln!(
+            "fleet_perf: 4-worker speedup {speedup:.2}x fell to/below the \
+             {SPEEDUP_BAR}x bar on a {cores}-core machine"
+        );
+        std::process::exit(1);
+    }
+    if !bar_enforced {
+        eprintln!(
+            "fleet_perf: {cores} core(s) — the {SPEEDUP_BAR}x speedup bar \
+             needs >= 4 cores and was not enforced (speedup {speedup:.2}x)"
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Fleet scale-out sweep: host count × per-host tree shape, each host
+//! an independent serving engine fed its share of one open-loop trace
+//! over network links (extension). Host shards run in worker OS
+//! processes (`--fleet-workers`, `ACCESYS_FLEET_WORKERS`, else the
+//! spec's `[fleet] workers`); stdout is byte-identical at any worker
+//! count.
+
+use accesys_exp::cli::{self, Cli};
+
+fn main() {
+    let cli = Cli::from_env("fleet_scaling");
+    let value = accesys_bench::fleet::run_cli(&cli);
+    if cli.json {
+        cli::emit_json(&value);
+    }
+}

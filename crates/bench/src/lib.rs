@@ -32,6 +32,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig9;
+pub mod fleet;
 pub mod graph;
 pub mod scale;
 pub mod serve;

@@ -10,8 +10,8 @@
 //! propagating it.
 
 use accesys_spec::{
-    DecodeScenario, PipelineScenario, RooflineScenario, Scenario, ServingScenario, Spec,
-    TopoScenario,
+    DecodeScenario, FleetScenario, PipelineScenario, RooflineScenario, Scenario, ServingScenario,
+    Spec, TopoScenario,
 };
 use std::sync::OnceLock;
 
@@ -39,6 +39,7 @@ pub const LIBRARY: &[(&str, &str)] = &[
         "kv_pressure",
         include_str!("../../../specs/kv_pressure.spec"),
     ),
+    ("fleet_1k", include_str!("../../../specs/fleet_1k.spec")),
 ];
 
 /// Load a committed spec by file stem.
@@ -72,6 +73,7 @@ committed!(topo, "switch_trees", Topo, TopoScenario);
 committed!(pipeline, "pipelined_encoder", Pipeline, PipelineScenario);
 committed!(serving, "two_tenant_mix", Serving, ServingScenario);
 committed!(decode, "llm_decode", Decode, DecodeScenario);
+committed!(fleet, "fleet_1k", Fleet, FleetScenario);
 
 #[cfg(test)]
 mod tests {
@@ -94,5 +96,6 @@ mod tests {
         assert_eq!(pipeline().name, "graph_scaling");
         assert_eq!(serving().name, "serve_scaling");
         assert_eq!(decode().name, "decode_scaling");
+        assert_eq!(fleet().name, "fleet_scaling");
     }
 }

@@ -14,7 +14,7 @@
 //! `ACCESYS_REGEN_GOLDEN=1 cargo test -p accesys-bench --test golden_specs`.
 
 use accesys_bench::specs::{load, LIBRARY};
-use accesys_bench::{decode, fig2, graph, serve, topo, Scale};
+use accesys_bench::{decode, fig2, fleet, graph, serve, topo, Scale};
 use accesys_exp::{Experiment, Jobs};
 use accesys_spec::{Scenario, Spec};
 
@@ -36,6 +36,10 @@ fn sweep_json(spec: &Spec) -> String {
         }
         Scenario::Decode(sc) => serde::Serialize::to_value(
             &decode::experiment_for(sc, Scale::Quick).run(Jobs::serial()),
+        ),
+        // In-process shards; byte-identical to any --fleet-workers run.
+        Scenario::Fleet(sc) => serde::Serialize::to_value(
+            &fleet::experiment_in_process(sc, Scale::Quick).run(Jobs::serial()),
         ),
     };
     serde_json::to_string_pretty(&value).expect("sweep results serialize")

@@ -29,6 +29,11 @@ pub struct Cli {
     /// `None` defers to the spec / `ACCESYS_KERNEL_THREADS` / 1. Results
     /// are byte-identical at any value — this only buys wall-clock.
     pub kernel_threads: Option<u32>,
+    /// Fleet worker OS processes (`--fleet-workers`, 0 = in-process);
+    /// `None` defers to the spec / `ACCESYS_FLEET_WORKERS` / in-process.
+    /// Fleet reports are byte-identical at any value — this only buys
+    /// wall-clock on multi-host sweeps.
+    pub fleet_workers: Option<u32>,
 }
 
 /// Why an argument vector did not parse.
@@ -45,6 +50,8 @@ pub enum CliError {
     BadJobs(String),
     /// `--kernel-threads` got something other than a positive integer.
     BadKernelThreads(String),
+    /// `--fleet-workers` got something other than a non-negative integer.
+    BadFleetWorkers(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -62,6 +69,12 @@ impl std::fmt::Display for CliError {
                     "--kernel-threads needs a positive integer, got `{value}`"
                 )
             }
+            CliError::BadFleetWorkers(value) => {
+                write!(
+                    f,
+                    "--fleet-workers needs a non-negative integer, got `{value}`"
+                )
+            }
         }
     }
 }
@@ -76,6 +89,7 @@ impl Cli {
             jobs,
             json: false,
             kernel_threads: None,
+            fleet_workers: None,
         }
     }
 
@@ -108,6 +122,7 @@ impl Cli {
             jobs: Jobs::from_env(),
             json: false,
             kernel_threads: None,
+            fleet_workers: fleet_workers_from_env(),
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -123,11 +138,17 @@ impl Cli {
                     let value = args.next().ok_or(CliError::MissingValue(arg))?;
                     cli.kernel_threads = Some(parse_kernel_threads(&value)?);
                 }
+                "--fleet-workers" => {
+                    let value = args.next().ok_or(CliError::MissingValue(arg))?;
+                    cli.fleet_workers = Some(parse_fleet_workers(&value)?);
+                }
                 other => {
                     if let Some(value) = other.strip_prefix("--jobs=") {
                         cli.jobs = parse_jobs(value)?;
                     } else if let Some(value) = other.strip_prefix("--kernel-threads=") {
                         cli.kernel_threads = Some(parse_kernel_threads(value)?);
+                    } else if let Some(value) = other.strip_prefix("--fleet-workers=") {
+                        cli.fleet_workers = Some(parse_fleet_workers(value)?);
                     } else {
                         return Err(CliError::UnknownFlag(other.to_string()));
                     }
@@ -152,10 +173,24 @@ fn parse_kernel_threads(value: &str) -> Result<u32, CliError> {
     }
 }
 
+fn parse_fleet_workers(value: &str) -> Result<u32, CliError> {
+    value
+        .parse::<u32>()
+        .map_err(|_| CliError::BadFleetWorkers(value.to_string()))
+}
+
+/// The `ACCESYS_FLEET_WORKERS` default for `--fleet-workers`
+/// (unparseable values are ignored, matching the other env defaults).
+fn fleet_workers_from_env() -> Option<u32> {
+    std::env::var("ACCESYS_FLEET_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+}
+
 /// The usage text every sweep bin shares.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--jobs N] [--json] [--full] [--kernel-threads N]\n\
+        "usage: {bin} [--jobs N] [--json] [--full] [--kernel-threads N] [--fleet-workers N]\n\
          \n\
          --jobs N, -j N  run the sweep on N worker threads\n\
          \x20                (default: ACCESYS_JOBS, else all cores)\n\
@@ -167,6 +202,11 @@ pub fn usage(bin: &str) -> String {
          \x20                parallel domain-engine threads per simulation\n\
          \x20                (default: spec [kernel] threads, else\n\
          \x20                ACCESYS_KERNEL_THREADS, else 1; results are\n\
+         \x20                byte-identical at any value)\n\
+         --fleet-workers N\n\
+         \x20                worker OS processes for fleet scenarios\n\
+         \x20                (0 = in-process; default: spec [fleet] workers,\n\
+         \x20                else ACCESYS_FLEET_WORKERS; results are\n\
          \x20                byte-identical at any value)\n\
          --help, -h      show this help"
     )
@@ -247,6 +287,14 @@ mod tests {
     }
 
     #[test]
+    fn fleet_workers_parses_and_allows_zero() {
+        assert_eq!(parse(&["--fleet-workers", "4"]).fleet_workers, Some(4));
+        assert_eq!(parse(&["--fleet-workers=8"]).fleet_workers, Some(8));
+        // 0 is meaningful: run every shard in-process.
+        assert_eq!(parse(&["--fleet-workers", "0"]).fleet_workers, Some(0));
+    }
+
+    #[test]
     fn bad_flags_are_typed_errors() {
         let parse = |args: &[&str]| Cli::parse(args.iter().map(|s| s.to_string()));
         assert_eq!(
@@ -268,6 +316,14 @@ mod tests {
         assert_eq!(
             parse(&["--kernel-threads", "0"]),
             Err(CliError::BadKernelThreads("0".to_string()))
+        );
+        assert_eq!(
+            parse(&["--fleet-workers", "many"]),
+            Err(CliError::BadFleetWorkers("many".to_string()))
+        );
+        assert_eq!(
+            parse(&["--fleet-workers"]),
+            Err(CliError::MissingValue("--fleet-workers".to_string()))
         );
         assert_eq!(parse(&["-h"]), Err(CliError::Help));
         assert_eq!(

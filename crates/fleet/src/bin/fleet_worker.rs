@@ -1,0 +1,15 @@
+//! `accesys-fleet-worker` — one fleet host shard per request, spoken
+//! over stdin/stdout. The protocol loop lives in the library
+//! ([`accesys_fleet::serve_fleet_worker`]); this binary only wires it
+//! to the real pipes.
+
+fn main() {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    if let Err(e) = accesys_fleet::serve_fleet_worker(&mut input, &mut output) {
+        eprintln!("accesys-fleet-worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,281 @@
+//! The fleet worker wire protocol, modeled on the accel layer's
+//! `matrixflow-worker` (`ChildWorker`): newline-framed commands with
+//! length-prefixed JSON blocks, one request/response pair at a time.
+//!
+//! ```text
+//! > PING                      < PONG
+//! > FLEET <len>\n<len bytes>  < OK            (load + validate a FleetSpec)
+//! > HOST <h>\n                < RESULT <len>\n<len bytes>   (a HostResult)
+//! > EXIT                      (or EOF: exit cleanly)
+//! ```
+//!
+//! Any failure — malformed frame, invalid spec, shard error — answers
+//! `ERR <message>` on one line and keeps the worker alive for the next
+//! command, so one bad sweep point cannot tear down a pooled process.
+//!
+//! Both sides live here: [`serve_fleet_worker`] is the entire body of
+//! the `accesys-fleet-worker` binary (unit-testable in-memory), and
+//! [`FleetWorker`] is the coordinator's handle over the accel layer's
+//! deadline-guarded [`PipeChild`] transport — a worker that dies or
+//! wedges surfaces as a typed error, never a hang.
+
+use crate::host::{run_host, HostResult};
+use crate::{FleetError, FleetSpec};
+use accesys_accel::transport::PipeChild;
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+/// Serve the fleet worker protocol over `input`/`output` until `EXIT`
+/// or EOF — the entire `accesys-fleet-worker` binary body, kept in the
+/// library so both protocol sides are testable in one place.
+///
+/// # Errors
+///
+/// Returns an error only when the pipes themselves fail; protocol and
+/// spec problems answer `ERR` and continue.
+pub fn serve_fleet_worker<R: BufRead, W: Write>(
+    input: &mut R,
+    output: &mut W,
+) -> std::io::Result<()> {
+    let mut spec: Option<FleetSpec> = None;
+    loop {
+        let mut line = String::new();
+        if input.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let line = line.trim_end();
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("PING") => reply(output, "PONG")?,
+            Some("EXIT") | None => return Ok(()),
+            Some("FLEET") => {
+                let Some(len) = parts.next().and_then(|p| p.parse::<usize>().ok()) else {
+                    reply(output, "ERR bad FLEET frame")?;
+                    continue;
+                };
+                let mut buf = vec![0u8; len];
+                input.read_exact(&mut buf)?;
+                match parse_spec(&buf) {
+                    Ok(s) => {
+                        spec = Some(s);
+                        reply(output, "OK")?;
+                    }
+                    Err(msg) => reply(output, &format!("ERR {}", one_line(&msg)))?,
+                }
+            }
+            Some("HOST") => {
+                let Some(host) = parts.next().and_then(|p| p.parse::<u32>().ok()) else {
+                    reply(output, "ERR bad HOST frame")?;
+                    continue;
+                };
+                let Some(spec) = spec.as_ref() else {
+                    reply(output, "ERR HOST before FLEET")?;
+                    continue;
+                };
+                match run_host(spec, host) {
+                    Ok(result) => {
+                        let json = serde_json::to_string(&result).expect("host results serialize");
+                        writeln!(output, "RESULT {}", json.len())?;
+                        output.write_all(json.as_bytes())?;
+                        output.flush()?;
+                    }
+                    Err(e) => reply(output, &format!("ERR {}", one_line(&e.to_string())))?,
+                }
+            }
+            Some(other) => reply(output, &format!("ERR unknown command {other}"))?,
+        }
+    }
+}
+
+fn reply<W: Write>(output: &mut W, line: &str) -> std::io::Result<()> {
+    writeln!(output, "{line}")?;
+    output.flush()
+}
+
+fn parse_spec(bytes: &[u8]) -> Result<FleetSpec, String> {
+    let text = std::str::from_utf8(bytes).map_err(|e| format!("spec is not UTF-8: {e}"))?;
+    let spec: FleetSpec =
+        serde_json::from_str(text).map_err(|e| format!("spec does not parse: {e}"))?;
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+/// Newlines would break the line framing of `ERR` replies.
+fn one_line(msg: &str) -> String {
+    msg.replace(['\n', '\r'], " ")
+}
+
+/// Coordinator-side handle to one spawned `accesys-fleet-worker`
+/// process. Dropping it sends `EXIT`; the transport's drop contract
+/// kills a worker that ignores it.
+#[derive(Debug)]
+pub struct FleetWorker {
+    pipe: PipeChild,
+}
+
+/// Host shards at paper scale run for a while; give them a generous
+/// read deadline (still bounded — a wedged worker surfaces as
+/// [`FleetError::Transport`] instead of hanging the sweep).
+const READ_DEADLINE: Duration = Duration::from_secs(600);
+
+impl FleetWorker {
+    /// Spawn and handshake a worker from the binary at `bin`.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Transport`] when the spawn or pipes fail,
+    /// [`FleetError::Protocol`] when the child is not a fleet worker.
+    pub fn spawn(bin: &std::path::Path) -> Result<FleetWorker, FleetError> {
+        let mut pipe = PipeChild::spawn(bin).map_err(|e| {
+            FleetError::WorkerBinary(format!("cannot spawn {}: {e}", bin.display()))
+        })?;
+        pipe.set_read_deadline(READ_DEADLINE);
+        let mut worker = FleetWorker { pipe };
+        worker.pipe.send_line("PING")?;
+        let pong = worker.pipe.read_line()?;
+        if pong != "PONG" {
+            return Err(FleetError::Protocol(format!(
+                "handshake expected PONG, got {pong:?}"
+            )));
+        }
+        Ok(worker)
+    }
+
+    /// Whether the worker process is still running.
+    pub fn is_alive(&mut self) -> bool {
+        self.pipe.is_alive()
+    }
+
+    /// Ship a fleet spec (pre-serialized once by the pool) to the
+    /// worker.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Transport`] on pipe failure,
+    /// [`FleetError::Protocol`] when the worker rejects the spec.
+    pub fn load(&mut self, spec_json: &str) -> Result<(), FleetError> {
+        self.pipe.send_line(&format!("FLEET {}", spec_json.len()))?;
+        self.pipe.write_all(spec_json.as_bytes())?;
+        self.pipe.flush()?;
+        let reply = self.pipe.read_line()?;
+        if reply != "OK" {
+            return Err(FleetError::Protocol(format!(
+                "worker rejected spec: {reply}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Run host shard `host` remotely and read back its result.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Transport`] on pipe failure (including a worker
+    /// that died or timed out mid-shard), [`FleetError::Protocol`] for
+    /// a malformed or `ERR` reply.
+    pub fn run_host(&mut self, host: u32) -> Result<HostResult, FleetError> {
+        self.pipe.send_line(&format!("HOST {host}"))?;
+        let reply = self.pipe.read_line()?;
+        let Some(len) = reply
+            .strip_prefix("RESULT ")
+            .and_then(|l| l.parse::<usize>().ok())
+        else {
+            return Err(FleetError::Protocol(format!(
+                "HOST {host} expected RESULT, got {reply}"
+            )));
+        };
+        let mut buf = vec![0u8; len];
+        self.pipe.read_exact(&mut buf)?;
+        let text = std::str::from_utf8(&buf)
+            .map_err(|e| FleetError::Protocol(format!("result is not UTF-8: {e}")))?;
+        serde_json::from_str(text)
+            .map_err(|e| FleetError::Protocol(format!("result does not parse: {e}")))
+    }
+}
+
+impl Drop for FleetWorker {
+    fn drop(&mut self) {
+        // Polite goodbye; PipeChild's drop bounds the wait and kills a
+        // worker that ignores it.
+        let _ = self.pipe.send_line("EXIT");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// Drive the worker loop fully in-memory (no process spawn).
+    fn roundtrip(script: &[u8]) -> Vec<u8> {
+        let mut input = Cursor::new(script.to_vec());
+        let mut output = Vec::new();
+        serve_fleet_worker(&mut input, &mut output).expect("serve failed");
+        output
+    }
+
+    fn tiny_spec() -> FleetSpec {
+        FleetSpec::demo(2, &[2])
+    }
+
+    #[test]
+    fn ping_pong_and_exit() {
+        assert_eq!(roundtrip(b"PING\nEXIT\n"), b"PONG\n");
+    }
+
+    #[test]
+    fn eof_terminates_cleanly() {
+        assert!(roundtrip(b"").is_empty());
+    }
+
+    #[test]
+    fn host_before_fleet_is_an_err_reply() {
+        let out = roundtrip(b"HOST 0\nEXIT\n");
+        assert_eq!(out, b"ERR HOST before FLEET\n");
+    }
+
+    #[test]
+    fn malformed_frames_get_err_replies_and_the_loop_survives() {
+        let out = roundtrip(b"FLEET zero\nHOST banana\nFROB\nPING\nEXIT\n");
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "ERR bad FLEET frame");
+        assert_eq!(lines[1], "ERR bad HOST frame");
+        assert!(lines[2].starts_with("ERR unknown command"));
+        assert_eq!(lines[3], "PONG");
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_with_err() {
+        let mut spec = tiny_spec();
+        spec.link.latency_ns = 0.0; // zero lookahead: invalid
+        let json = serde_json::to_string(&spec).unwrap();
+        let mut script = format!("FLEET {}\n", json.len()).into_bytes();
+        script.extend_from_slice(json.as_bytes());
+        script.extend_from_slice(b"EXIT\n");
+        let out = roundtrip(&script);
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("ERR invalid fleet spec"),
+            "want spec rejection, got {text:?}"
+        );
+    }
+
+    #[test]
+    fn fleet_then_host_matches_run_host_exactly() {
+        let spec = tiny_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let mut script = format!("FLEET {}\n", json.len()).into_bytes();
+        script.extend_from_slice(json.as_bytes());
+        script.extend_from_slice(b"HOST 1\nEXIT\n");
+        let out = roundtrip(&script);
+        let text = String::from_utf8(out).unwrap();
+        let body = text.strip_prefix("OK\n").expect("spec accepted");
+        let (header, payload) = body.split_once('\n').expect("RESULT framed");
+        let len: usize = header.strip_prefix("RESULT ").unwrap().parse().unwrap();
+        assert_eq!(payload.len(), len);
+        let remote: HostResult = serde_json::from_str(payload).unwrap();
+        let local = run_host(&spec, 1).unwrap();
+        assert_eq!(remote, local, "wire round-trip must be exact");
+    }
+}

@@ -1,0 +1,54 @@
+//! Property: any partition of a valid fleet's hosts — any assignment
+//! of shards to computers, finishing in any order — re-merges to
+//! exactly the sequential in-process result. This is the algebraic
+//! core of the fleet determinism contract, checked over random fleet
+//! shapes and traffic.
+
+use accesys_fleet::{merge, run_host, FleetSpec, HostResult};
+use proptest::prelude::*;
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(&serde::Serialize::to_value(value)).expect("serializes")
+}
+
+/// Deterministically "shuffle" results by rotating and interleaving:
+/// enough to destroy host order without needing an RNG here.
+fn scramble(mut results: Vec<HostResult>, rot: usize) -> Vec<HostResult> {
+    if results.is_empty() {
+        return results;
+    }
+    let rot = rot % results.len();
+    results.rotate_left(rot);
+    let (evens, odds): (Vec<_>, Vec<_>) = results
+        .into_iter()
+        .enumerate()
+        .partition(|(i, _)| i % 2 == 0);
+    odds.into_iter().chain(evens).map(|(_, r)| r).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn random_partitions_remerge_to_the_sequential_result(
+        hosts in 1u32..6,
+        fan in 1u32..5,
+        seed in 0u64..1000,
+        rate_scale in 1u32..4,
+        rot in 0usize..8,
+    ) {
+        let mut spec = FleetSpec::demo(hosts, &[fan]);
+        spec.traffic.seed = seed;
+        spec.traffic.rate_rps *= rate_scale as f64;
+
+        // Sequential baseline: host order, one "computer".
+        let sequential: Vec<HostResult> = (0..hosts)
+            .map(|h| run_host(&spec, h).expect("host shard runs"))
+            .collect();
+        let baseline = merge(&spec, sequential.clone()).expect("merge");
+
+        // The same shards handed back in scrambled completion order.
+        let scrambled = scramble(sequential, rot);
+        let remerged = merge(&spec, scrambled).expect("merge");
+        prop_assert_eq!(json(&remerged), json(&baseline));
+    }
+}

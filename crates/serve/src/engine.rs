@@ -52,7 +52,7 @@ use accesys_workload::Op;
 /// What one request costs: an encoder of `slices` layers at a fixed
 /// geometry. Slices are the batching quantum — a request occupies its
 /// batch slot for `slices` rounds.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct RequestShape {
     /// Sequence length of each encoder layer.
     pub seq: u32,
@@ -125,7 +125,11 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    pub(crate) fn of(h: &Histogram) -> LatencySummary {
+    /// Summarize a latency [`Histogram`] (count, mean, p50/p99/p99.9
+    /// upper bounds, exact max). Public so layered engines — the fleet
+    /// merge being the first — can summarize histograms they built from
+    /// completion traces.
+    pub fn of(h: &Histogram) -> LatencySummary {
         LatencySummary {
             count: h.count(),
             mean_ns: h.mean(),
@@ -183,6 +187,24 @@ pub struct ServeReport {
     pub tenants: Vec<TenantReport>,
 }
 
+/// One retired request on the serving clock — the raw material for
+/// cross-layer latency accounting. The fleet layer adds network legs on
+/// top of [`Completion::latency_ns`] before summarizing, so the trace
+/// carries exact per-request numbers rather than bucketed summaries.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize)]
+pub struct Completion {
+    /// Request id (= index into the arrival trace given to the engine).
+    pub id: u64,
+    /// Tenant the request belonged to.
+    pub tenant: u32,
+    /// Arrival tick on the serving clock, ns.
+    pub arrival_ns: u64,
+    /// Retirement tick on the serving clock, ns.
+    pub done_ns: f64,
+    /// Arrival→retirement latency, ns (`done_ns − arrival_ns`).
+    pub latency_ns: f64,
+}
+
 /// One in-flight request: a batch slot holder across rounds.
 struct Active {
     id: u64,
@@ -208,6 +230,25 @@ pub fn serve(
     policy: &Policy,
     cfg: &ServeConfig,
 ) -> Result<ServeReport, RunError> {
+    serve_traced(sim, shape, arrivals, policy, cfg).map(|(report, _)| report)
+}
+
+/// [`serve`], additionally returning the per-request [`Completion`]
+/// trace in retirement order (the order latencies were observed into
+/// the report's histograms — replaying the trace reproduces them
+/// byte-identically, which the fleet layer's 1-vs-N-process
+/// determinism contract leans on).
+///
+/// # Errors
+///
+/// Same as [`serve`].
+pub fn serve_traced(
+    sim: &mut Simulation,
+    shape: &RequestShape,
+    arrivals: &[Arrival],
+    policy: &Policy,
+    cfg: &ServeConfig,
+) -> Result<(ServeReport, Vec<Completion>), RunError> {
     let slice_ops = shape.slice_ops();
     let slices = shape.slices.max(1);
     let batch_cap = cfg.batch_cap.max(1);
@@ -223,6 +264,7 @@ pub fn serve(
     let mut admitted_by_tenant = vec![0u64; tenant_count];
     let mut overall = Histogram::new();
     let mut by_tenant = vec![Histogram::new(); tenant_count];
+    let mut trace: Vec<Completion> = Vec::new();
 
     // Rounds extend one incremental dispatch session: the session pins
     // the monotone-clock contract the serving clock tiles over.
@@ -316,9 +358,17 @@ pub fn serve(
                 .iter()
                 .find(|r| r.id == id)
                 .expect("completion for an in-flight request");
-            let latency_ns = (units::to_ns(*tick) + skew_ns) - r.arrival_ns as f64;
+            let done_ns = units::to_ns(*tick) + skew_ns;
+            let latency_ns = done_ns - r.arrival_ns as f64;
             overall.observe(latency_ns);
             by_tenant[r.tenant as usize].observe(latency_ns);
+            trace.push(Completion {
+                id,
+                tenant: r.tenant,
+                arrival_ns: r.arrival_ns,
+                done_ns,
+                latency_ns,
+            });
             completed += 1;
             if latency_ns <= cfg.slo_ns {
                 within_slo += 1;
@@ -351,7 +401,7 @@ pub fn serve(
             latency: LatencySummary::of(&by_tenant[t]),
         })
         .collect();
-    Ok(ServeReport {
+    let report = ServeReport {
         offered: arrivals.len() as u64,
         admitted: admitted_by_tenant.iter().sum(),
         completed,
@@ -365,5 +415,6 @@ pub fn serve(
         goodput_rps: per_sec(within_slo),
         latency: LatencySummary::of(&overall),
         tenants,
-    })
+    };
+    Ok((report, trace))
 }

@@ -73,7 +73,10 @@ pub mod policy;
 pub mod queue;
 
 pub use arrivals::{trace_from_json, Arrival, ArrivalSpec, TraceError};
-pub use engine::{serve, LatencySummary, RequestShape, ServeConfig, ServeReport, TenantReport};
+pub use engine::{
+    serve, serve_traced, Completion, LatencySummary, RequestShape, ServeConfig, ServeReport,
+    TenantReport,
+};
 pub use llm::{
     serve_llm, KvReport, LlmRequestShape, LlmServeConfig, LlmServeError, LlmServeReport,
 };

@@ -169,6 +169,40 @@ impl Histogram {
         out.set(&format!("{prefix}_count"), self.count as f64);
     }
 
+    /// Non-empty buckets as `(bucket index, count)` — the raw transport
+    /// form for shipping a histogram across a process boundary; invert
+    /// with [`Histogram::from_raw`]. Unlike [`Histogram::iter`] the
+    /// index is exact (no float lower bound), so the round trip loses
+    /// nothing.
+    pub fn raw_buckets(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u32, n))
+            .collect()
+    }
+
+    /// Rebuild a histogram from [`Histogram::raw_buckets`] output plus
+    /// the exact `sum`/`min`/`max` (the count is implied: every sample
+    /// lands in exactly one bucket). Out-of-range indexes clamp into
+    /// the unbounded top bucket; an empty bucket list yields
+    /// [`Histogram::new`] regardless of the scalar arguments, so the
+    /// empty case round-trips without shipping infinities.
+    pub fn from_raw(buckets: &[(u32, u64)], sum: f64, min: f64, max: f64) -> Histogram {
+        let mut h = Histogram::new();
+        for &(i, n) in buckets {
+            h.buckets[(i as usize).min(Self::TOP_BUCKET)] += n;
+            h.count += n;
+        }
+        if h.count > 0 {
+            h.sum = sum;
+            h.min = min;
+            h.max = max;
+        }
+        h
+    }
+
     /// Iterate over non-empty buckets as `(lower_bound, count)`.
     ///
     /// Lower bounds are exact for every bucket, including the top one
@@ -272,6 +306,30 @@ mod tests {
         h.observe(f64::MAX);
         assert_eq!(h.count(), 1);
         assert!(h.percentile(100.0) > 0.0);
+    }
+
+    #[test]
+    fn raw_round_trip_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0.25, 3.0, 10.0, 10.0, 1e18, f64::MAX] {
+            h.observe(v);
+        }
+        let back = Histogram::from_raw(&h.raw_buckets(), h.sum(), h.min(), h.max());
+        assert_eq!(back, h);
+
+        // Empty histograms round-trip through the zeroed accessors
+        // (min()/max() report 0 when empty) without picking up fake
+        // extremes.
+        let empty = Histogram::new();
+        let back = Histogram::from_raw(&empty.raw_buckets(), empty.sum(), empty.min(), empty.max());
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn from_raw_clamps_wild_indexes_into_the_top_bucket() {
+        let h = Histogram::from_raw(&[(901, 2)], 4.0e19, 2.0e19, 2.0e19);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.iter().collect::<Vec<_>>(), vec![((1u64 << 63) as f64, 2)]);
     }
 
     #[test]

@@ -123,7 +123,7 @@ fn run_churn(seed: u64) -> Vec<Vec<TraceRec>> {
             k.add_module(Box::new(Churn {
                 name: format!("churn{i}"),
                 peers: Vec::new(),
-                lcg: Lcg(seed ^ (i * 0x9e37_79b9_7f4a_7c15)),
+                lcg: Lcg(seed ^ u64::wrapping_mul(i, 0x9e37_79b9_7f4a_7c15)),
                 trace: Vec::new(),
             }))
         })

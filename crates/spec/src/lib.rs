@@ -52,9 +52,9 @@ pub mod scenario;
 pub use error::SpecError;
 pub use parse::{parse, Document, RawValue};
 pub use scenario::{
-    mem_tech, parse_shape, BatchCap, DecodeScenario, EncoderDims, KvSpec, PipelineScenario,
-    PolicyKind, PolicySpec, RooflineScenario, ScalePair, Scenario, ServingScenario, Spec,
-    SystemSpec, TopoScenario, TrafficProcess, TrafficSpec, MEM_TECH_NAMES,
+    mem_tech, parse_shape, BatchCap, DecodeScenario, EncoderDims, FleetScenario, KvSpec,
+    PipelineScenario, PolicyKind, PolicySpec, RooflineScenario, ScalePair, Scenario,
+    ServingScenario, Spec, SystemSpec, TopoScenario, TrafficProcess, TrafficSpec, MEM_TECH_NAMES,
 };
 
 /// Load a spec from text: parse, resolve and validate (stages 1–3).

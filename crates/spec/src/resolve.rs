@@ -16,9 +16,9 @@
 
 use crate::parse::{Document, Entry, RawValue, Section};
 use crate::scenario::{
-    mem_tech, parse_shape, BatchCap, DecodeScenario, EncoderDims, KvSpec, PipelineScenario,
-    PolicyKind, PolicySpec, RooflineScenario, ScalePair, Scenario, ServingScenario, SystemSpec,
-    TopoScenario, TrafficProcess, TrafficSpec, MEM_TECH_NAMES,
+    mem_tech, parse_shape, BatchCap, DecodeScenario, EncoderDims, FleetScenario, KvSpec,
+    PipelineScenario, PolicyKind, PolicySpec, RooflineScenario, ScalePair, Scenario,
+    ServingScenario, SystemSpec, TopoScenario, TrafficProcess, TrafficSpec, MEM_TECH_NAMES,
 };
 use crate::SpecError;
 use accesys::addrmap::MAX_ACCELS;
@@ -42,12 +42,13 @@ pub fn resolve(doc: &Document) -> Result<Scenario, SpecError> {
         "pipeline" => resolve_pipeline(doc, name),
         "serving" => resolve_serving(doc, name),
         "decode" => resolve_decode(doc, name),
+        "fleet" => resolve_fleet(doc, name),
         other => Err(invalid(
             kind_line,
             "scenario.kind",
             &format!(
                 "has unknown scenario kind `{other}` \
-                 (expected roofline|topo|pipeline|serving|decode)"
+                 (expected roofline|topo|pipeline|serving|decode|fleet)"
             ),
         )),
     }
@@ -355,6 +356,151 @@ fn resolve_decode(doc: &Document, name: String) -> Result<Scenario, SpecError> {
         shapes,
         rates,
         budgets,
+    }))
+}
+
+/// Upper bound on `[fleet] hosts` entries the validator accepts
+/// (mirrors the fleet crate's own spec cap).
+const MAX_FLEET_HOSTS: u32 = 4096;
+
+/// Upper bound on `[fleet] workers`; one OS process per worker, so a
+/// larger value is a typo, not a bigger machine.
+const MAX_FLEET_WORKERS: u32 = 256;
+
+fn resolve_fleet(doc: &Document, name: String) -> Result<Scenario, SpecError> {
+    known_sections(
+        doc,
+        &[
+            "scenario", "topology", "workload", "traffic", "policy", "fleet", "sweep", "kernel",
+        ],
+    )?;
+    let mut system = resolve_system(doc, "topology", true)?;
+    system.kernel_threads = resolve_kernel(doc)?;
+    // Hosts are identical by construction; a per-leaf list has no
+    // meaning when the same tree is stamped out `hosts` times.
+    if system.leaves.is_some() {
+        let line = need_section(doc, "topology")?
+            .entry("leaves")
+            .map_or(0, |e| e.line);
+        return Err(invalid(
+            line,
+            "topology.leaves",
+            "is not supported in fleet scenarios (hosts are identical; use devmem)",
+        ));
+    }
+    let workload = need_section(doc, "workload")?;
+    known_keys(
+        workload,
+        &["kind", "seq", "hidden", "heads", "mlp", "slices"],
+    )?;
+    need_workload_kind(workload, "encoder_request")?;
+    let request = RequestShape {
+        seq: need_u32(workload, "seq")?.0,
+        hidden: need_u32(workload, "hidden")?.0,
+        heads: need_u32(workload, "heads")?.0,
+        mlp: need_u32(workload, "mlp")?.0,
+        slices: need_u32(workload, "slices")?.0,
+    };
+    let traffic = resolve_traffic(doc)?;
+    // Every shard regenerates the fleet trace independently from the
+    // seed, so the process must be precomputable — poisson only.
+    if !matches!(traffic.process, TrafficProcess::Poisson { .. }) {
+        let line = need_section(doc, "traffic")?
+            .entry("process")
+            .map_or(0, |e| e.line);
+        return Err(invalid(
+            line,
+            "traffic.process",
+            "must be \"poisson\" in fleet scenarios (every host shard \
+             regenerates the trace from the seed)",
+        ));
+    }
+    let policy = resolve_policy(doc, traffic.tenants())?;
+    let fleet = need_section(doc, "fleet")?;
+    known_keys(
+        fleet,
+        &[
+            "hosts",
+            "workers",
+            "link_latency_ns",
+            "link_gbps",
+            "request_bytes",
+            "rate_rps",
+        ],
+    )?;
+    let (hosts, hosts_line) = need_u32_list(fleet, "hosts")?;
+    if hosts.is_empty() {
+        return Err(invalid(hosts_line, "fleet.hosts", "must not be empty"));
+    }
+    for (i, &h) in hosts.iter().enumerate() {
+        if h == 0 || h > MAX_FLEET_HOSTS {
+            return Err(invalid(
+                hosts_line,
+                "fleet.hosts",
+                &format!("must be in 1..={MAX_FLEET_HOSTS}, got {h}"),
+            ));
+        }
+        if hosts[..i].contains(&h) {
+            return Err(SpecError::DuplicateName {
+                line: hosts_line,
+                field: "fleet.hosts".to_string(),
+                name: h.to_string(),
+            });
+        }
+    }
+    let workers = match want_u32(fleet, "workers")? {
+        None => 0,
+        Some((w, line)) => {
+            if w > MAX_FLEET_WORKERS {
+                return Err(invalid(
+                    line,
+                    "fleet.workers",
+                    &format!("is {w}, over the worker-process cap of {MAX_FLEET_WORKERS}"),
+                ));
+            }
+            w
+        }
+    };
+    let (link_latency_ns, latency_line) = need_f64(fleet, "link_latency_ns")?;
+    if !(link_latency_ns > 0.0 && link_latency_ns.is_finite()) {
+        return Err(invalid(
+            latency_line,
+            "fleet.link_latency_ns",
+            "must be positive (it is the conservative lookahead of the cross-host cut)",
+        ));
+    }
+    let (link_gbps, gbps_line) = need_f64(fleet, "link_gbps")?;
+    if !(link_gbps > 0.0 && link_gbps.is_finite()) {
+        return Err(invalid(gbps_line, "fleet.link_gbps", "must be positive"));
+    }
+    let (request_bytes, bytes_line) = need_u64(fleet, "request_bytes")?;
+    if request_bytes == 0 {
+        return Err(invalid(
+            bytes_line,
+            "fleet.request_bytes",
+            "must be at least 1 (a request still occupies the wire)",
+        ));
+    }
+    let (rate_rps, rate_line) = need_f64(fleet, "rate_rps")?;
+    if !(rate_rps >= 0.0 && rate_rps.is_finite()) {
+        return Err(invalid(rate_line, "fleet.rate_rps", "must be non-negative"));
+    }
+    let sweep = need_section(doc, "sweep")?;
+    known_keys(sweep, &["shapes"])?;
+    let shapes = resolve_shapes(sweep)?;
+    Ok(Scenario::Fleet(FleetScenario {
+        name,
+        system,
+        request,
+        traffic,
+        policy,
+        hosts,
+        workers,
+        link_latency_ns,
+        link_gbps,
+        request_bytes,
+        rate_rps,
+        shapes,
     }))
 }
 

@@ -432,6 +432,55 @@ pub struct DecodeScenario {
     pub budgets: Vec<String>,
 }
 
+/// A fleet scale-out scenario (`kind = "fleet"`): many identical hosts
+/// — each one switch tree of accelerators behind its own serving
+/// engine — fed shares of one open-loop trace over latency/bandwidth
+/// bounded network links, swept over host counts and per-host tree
+/// shapes.
+///
+/// The spec layer stays a pure front-end here: this struct is plain
+/// data, and the fleet driver lowers it into the multi-process fleet
+/// crate's own spec type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetScenario {
+    /// Experiment name.
+    pub name: String,
+    /// The per-host testbed (all hosts identical).
+    pub system: SystemSpec,
+    /// The request every client sends.
+    pub request: RequestShape,
+    /// The fleet-wide arrival process (restricted to `poisson`: the
+    /// whole trace must be a precomputable pure function of the spec so
+    /// every shard can regenerate it independently).
+    pub traffic: TrafficSpec,
+    /// Per-host admission + scheduling knobs.
+    pub policy: PolicySpec,
+    /// The swept host counts (`[fleet] hosts`).
+    pub hosts: Vec<u32>,
+    /// Default worker OS processes (`[fleet] workers`; 0 = in-process,
+    /// overridable by `--fleet-workers` / `ACCESYS_FLEET_WORKERS`).
+    pub workers: u32,
+    /// Frontend→host one-way link latency, ns (`link_latency_ns`) —
+    /// also the conservative lookahead of the cross-host cut.
+    pub link_latency_ns: f64,
+    /// Inter-host link bandwidth, Gbit/s (`link_gbps`).
+    pub link_gbps: f64,
+    /// Bytes on the wire per request/response (`request_bytes`).
+    pub request_bytes: u64,
+    /// Fleet-wide offered rate, requests per second (`rate_rps`).
+    pub rate_rps: f64,
+    /// The swept per-host tree shapes.
+    pub shapes: Vec<String>,
+}
+
+impl FleetScenario {
+    /// Total accelerator endpoints at one (hosts, shape) grid point.
+    pub fn endpoints(&self, hosts: u32, shape: &str) -> u64 {
+        let per_host: u32 = parse_shape(shape).map_or(0, |l| l.iter().product());
+        u64::from(hosts) * u64::from(per_host)
+    }
+}
+
 /// One fully loaded scenario, by kind.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Scenario {
@@ -445,6 +494,8 @@ pub enum Scenario {
     Serving(ServingScenario),
     /// `kind = "decode"`.
     Decode(DecodeScenario),
+    /// `kind = "fleet"`.
+    Fleet(FleetScenario),
 }
 
 impl Scenario {
@@ -456,6 +507,7 @@ impl Scenario {
             Scenario::Pipeline(_) => "pipeline",
             Scenario::Serving(_) => "serving",
             Scenario::Decode(_) => "decode",
+            Scenario::Fleet(_) => "fleet",
         }
     }
 
@@ -467,6 +519,7 @@ impl Scenario {
             Scenario::Pipeline(s) => &s.name,
             Scenario::Serving(s) => &s.name,
             Scenario::Decode(s) => &s.name,
+            Scenario::Fleet(s) => &s.name,
         }
     }
 
@@ -478,6 +531,7 @@ impl Scenario {
             Scenario::Pipeline(s) => &s.shapes,
             Scenario::Serving(s) => &s.shapes,
             Scenario::Decode(s) => &s.shapes,
+            Scenario::Fleet(s) => &s.shapes,
         }
     }
 
@@ -494,6 +548,7 @@ impl Scenario {
             Scenario::Pipeline(s) => s.system.kernel_threads = Some(threads),
             Scenario::Serving(s) => s.system.kernel_threads = Some(threads),
             Scenario::Decode(s) => s.system.kernel_threads = Some(threads),
+            Scenario::Fleet(s) => s.system.kernel_threads = Some(threads),
         }
     }
 }
@@ -556,6 +611,15 @@ impl Spec {
                             message: format!("unknown KV budget regime `{b}`"),
                         })?;
                 }
+                Ok(())
+            }
+            Scenario::Fleet(s) => {
+                // Every host is identical, so one per-shape simulation
+                // exercises the same builders every shard will run.
+                for shape in &s.shapes {
+                    s.system.simulation(&parsed_shape(shape)?)?;
+                }
+                let _ = s.traffic.arrivals(s.rate_rps, scale);
                 Ok(())
             }
         }

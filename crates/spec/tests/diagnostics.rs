@@ -304,3 +304,134 @@ fn unknown_kernel_key_is_rejected() {
     );
     assert!(matches!(err, SpecError::UnknownKey { .. }));
 }
+
+// ---------------------------------------------------------------------
+// The `[fleet]` section (fleet scale-out scenarios).
+
+const FLEET_OK: &str = r#"
+[scenario]
+kind = "fleet"
+name = "diag"
+
+[topology]
+link_gbps = 16.0
+host_mem = "ddr4"
+compute_ns = 5000.0
+
+[workload]
+kind = "encoder_request"
+seq = 16
+hidden = 64
+heads = 4
+mlp = 128
+slices = 2
+
+[traffic]
+process = "poisson"
+tenants = 2
+seed = 7
+horizon_ns = 1000000
+
+[policy]
+kind = "round_robin"
+batch_cap = 4
+queue_cap = 16
+slo_ns = 5000000.0
+
+[fleet]
+hosts = [2, 4]
+workers = 2
+link_latency_ns = 1000.0
+link_gbps = 100.0
+request_bytes = 4096
+rate_rps = 50000.0
+
+[sweep]
+shapes = ["2"]
+"#;
+
+#[test]
+fn the_fleet_fixture_is_actually_valid() {
+    let spec = load_str(FLEET_OK).expect("fixture loads");
+    let accesys_spec::Scenario::Fleet(sc) = &spec.scenario else {
+        panic!("fixture is a fleet scenario, got {}", spec.scenario.kind());
+    };
+    assert_eq!(sc.hosts, vec![2, 4]);
+    assert_eq!(sc.workers, 2);
+    assert_eq!(sc.endpoints(4, "2"), 8);
+}
+
+#[test]
+fn unknown_fleet_key_names_the_key_and_its_line() {
+    let text = FLEET_OK.replace("workers = 2", "wrokers = 2");
+    let err = expect_diag(
+        &text,
+        "wrokers",
+        Some("fleet.wrokers"),
+        "line 33: unknown key `wrokers` in [fleet]",
+    );
+    assert!(matches!(err, SpecError::UnknownKey { .. }));
+}
+
+#[test]
+fn fleet_worker_count_over_the_process_cap_is_rejected() {
+    let text = FLEET_OK.replace("workers = 2", "workers = 300");
+    let err = expect_diag(
+        &text,
+        "workers = 300",
+        Some("fleet.workers"),
+        "line 33: `fleet.workers` is 300, over the worker-process cap of 256",
+    );
+    assert!(matches!(err, SpecError::Invalid { .. }));
+}
+
+#[test]
+fn zero_fleet_link_latency_is_rejected_as_a_lookahead_violation() {
+    // latency_ns doubles as the conservative lookahead of the
+    // cross-host cut; zero would make the cut unsound.
+    let text = FLEET_OK.replace("link_latency_ns = 1000.0", "link_latency_ns = 0.0");
+    expect_diag(
+        &text,
+        "link_latency_ns = 0.0",
+        Some("fleet.link_latency_ns"),
+        "line 34: `fleet.link_latency_ns` must be positive \
+         (it is the conservative lookahead of the cross-host cut)",
+    );
+}
+
+#[test]
+fn zero_fleet_link_bandwidth_is_rejected() {
+    let text = FLEET_OK.replace("link_gbps = 100.0", "link_gbps = 0.0");
+    expect_diag(
+        &text,
+        "link_gbps = 0.0",
+        Some("fleet.link_gbps"),
+        "line 35: `fleet.link_gbps` must be positive",
+    );
+}
+
+#[test]
+fn zero_host_count_is_rejected() {
+    let text = FLEET_OK.replace("hosts = [2, 4]", "hosts = [0, 4]");
+    expect_diag(
+        &text,
+        "hosts = [0, 4]",
+        Some("fleet.hosts"),
+        "line 32: `fleet.hosts` must be in 1..=4096, got 0",
+    );
+}
+
+#[test]
+fn non_poisson_fleet_traffic_is_rejected() {
+    let text = FLEET_OK.replace(
+        "process = \"poisson\"",
+        "process = \"bursty\"\ncalm_rps = 100.0\nburst_rps = 1000.0\nmean_phase_len = 8",
+    );
+    expect_diag(
+        &text,
+        "process = \"bursty\"",
+        Some("traffic.process"),
+        "line 20: `traffic.process` must be \"poisson\" in fleet scenarios \
+         (every host shard regenerates the trace from the seed)",
+    );
+}
